@@ -1,0 +1,47 @@
+// Package tess is a parallel 3D Voronoi tessellation library for analyzing
+// particle data in situ with cosmological N-body simulations — a
+// from-scratch Go reproduction of Peterka et al., "Meshing the Universe:
+// Integrating Analysis in Cosmological Simulations" (SC 2012).
+//
+// The library computes the Voronoi tessellation of a periodic (or bounded)
+// particle set across many blocks in parallel: each block exchanges a ghost
+// region of particles with its 26-connected neighborhood (with periodic
+// boundary transforms), computes the Voronoi cells of its own particles
+// locally, deletes cells that cannot be proven correct, culls cells outside
+// a volume threshold (with a cheap conservative pre-pass), derives cell
+// geometry through a Quickhull pass, and writes all blocks collectively to
+// a single file.
+//
+// # Modes
+//
+// Standalone mode tessellates an in-memory particle set:
+//
+//	cfg := tess.NewPeriodicConfig(64) // 64^3 box, ghost size auto
+//	out, err := tess.Tessellate(cfg, particles, 8)
+//
+// In situ mode runs the tessellation at selected time steps of the built-in
+// particle-mesh N-body simulation (the HACC stand-in):
+//
+//	res, err := tess.RunInSitu(tess.InSituConfig{
+//		Sim:    nbody.DefaultConfig(32),
+//		Tess:   tess.NewPeriodicConfig(32),
+//		Steps:  100,
+//		Every:  10,
+//		Blocks: 8,
+//	}, nil)
+//
+// # Postprocessing
+//
+// Output files are read back with ReadTessFile; FindVoids applies a volume
+// threshold and connected-component labeling to identify cosmological
+// voids, and each component carries its Minkowski functionals (volume,
+// surface area, integrated mean curvature, Euler characteristic) and
+// shapefinders (thickness, breadth, length).
+//
+// The substrates live in internal/ packages: geom (geometry kernel), qhull
+// (Quickhull convex hulls), voronoi (cell clipping), delaunay
+// (tetrahedralization), dtfe (density estimation), fft/cosmo/nbody (the
+// simulation), comm/diy (message passing and block parallelism), meshio
+// (data model and storage), voids (void analysis), and stats (histograms
+// and moments).
+package tess

@@ -1,0 +1,86 @@
+package tess
+
+import (
+	"io"
+
+	"repro/internal/catalyst"
+	"repro/internal/core"
+	"repro/internal/cosmotools"
+	"repro/internal/diy"
+	"repro/internal/track"
+)
+
+// The in situ cosmology-tools framework (the paper's Figure 4): analyses
+// are enabled and parameterized through a configuration deck, run at
+// selected time steps of the simulation, and publish results to storage
+// and/or a live HTTP endpoint.
+
+// ToolsConfig is a parsed cosmology-tools configuration deck.
+type ToolsConfig = cosmotools.Config
+
+// Pipeline drives the configured analyses over a simulation run.
+type Pipeline = cosmotools.Pipeline
+
+// AnalysisResult is one analysis invocation's summary.
+type AnalysisResult = cosmotools.Result
+
+// LiveServer publishes pipeline results over HTTP while the simulation
+// runs (the Catalyst/ParaView-server role of the paper's workflow).
+type LiveServer = catalyst.Server
+
+// LiveStatus is the run-progress document served at /status.
+type LiveStatus = catalyst.Status
+
+// FeatureTree is the temporal feature (void) tree built from tracked
+// components.
+type FeatureTree = track.Tree
+
+// FeatureEvent classifies one tracked transition (continuation, merge,
+// split, birth, death).
+type FeatureEvent = track.Event
+
+// ParseToolsConfig reads a configuration deck (see cosmotools.ParseConfig
+// for the format).
+func ParseToolsConfig(r io.Reader) (*ToolsConfig, error) {
+	return cosmotools.ParseConfig(r)
+}
+
+// NewPipeline builds the analyses named in the deck against a simulation
+// configuration; outputDir receives analysis files ("" disables them).
+func NewPipeline(cfg *ToolsConfig, sim SimConfig, outputDir string) (*Pipeline, error) {
+	return cosmotools.NewPipeline(cfg, sim, outputDir)
+}
+
+// NewLiveServer returns an empty live-results server; attach it to a
+// pipeline with (*LiveServer).Attach and serve (*LiveServer).Handler().
+func NewLiveServer() *LiveServer { return catalyst.NewServer() }
+
+// KnownAnalyses lists the analyses a deck may enable.
+func KnownAnalyses() []string { return cosmotools.KnownAnalyses() }
+
+// AutoTessellate is Tessellate with automatic ghost-size determination
+// (the follow-up the paper proposes in Sec. V): the ghost region grows
+// until every cell is proven complete or the decomposition's maximum is
+// reached. It returns the output and the ghost size used. A zero
+// cfg.GhostSize starts from an estimate based on the mean interparticle
+// spacing.
+func AutoTessellate(cfg Config, particles []Particle, numBlocks int) (*Output, float64, error) {
+	return core.AutoRun(cfg, particles, numBlocks)
+}
+
+// EstimateGhost proposes a ghost size for a particle population (factor
+// times the mean interparticle spacing, clamped to what the decomposition
+// supports; factor <= 0 defaults to 4).
+func EstimateGhost(cfg Config, numParticles, numBlocks int, factor float64) (float64, error) {
+	return core.EstimateGhost(cfg, numParticles, numBlocks, factor)
+}
+
+// MaxGhostFor returns the widest ghost region a (domain, blocks)
+// decomposition supports: the smallest block side.
+func MaxGhostFor(cfg Config, numBlocks int) (float64, error) {
+	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
+	if err != nil {
+		return 0, err
+	}
+	return core.MaxGhost(d), nil
+}

@@ -1,0 +1,112 @@
+package tess
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/nbody"
+)
+
+// InSituConfig describes a coupled simulation + analysis run: the N-body
+// configuration, the tessellation configuration, how many steps to run, and
+// how often to tessellate — the in situ cosmology-tools pattern of the
+// paper's Figure 4 (analysis invoked at selected time steps, results saved
+// to storage for postprocessing).
+type InSituConfig struct {
+	// Sim configures the particle-mesh N-body run (the HACC stand-in).
+	Sim nbody.Config
+	// Tess configures each tessellation pass. Its Domain must match the
+	// simulation box; RunInSitu enforces this.
+	Tess Config
+	// Steps is the total number of simulation time steps.
+	Steps int
+	// Every invokes the tessellation after every Every-th step (and always
+	// after the final step). Every <= 0 tessellates only at the end.
+	Every int
+	// Blocks is the number of parallel blocks (ranks).
+	Blocks int
+	// OutputDir, when non-empty, writes each snapshot's tessellation to
+	// OutputDir/tess-step-NNNN.out.
+	OutputDir string
+}
+
+// Snapshot is the result of one in situ analysis invocation.
+type Snapshot struct {
+	// Step is the simulation step after which the analysis ran.
+	Step int
+	// Output is the tessellation result for this step.
+	Output *Output
+	// SimTime is the simulation wall time since the previous snapshot.
+	SimTime time.Duration
+	// TessTime is this snapshot's tessellation wall time.
+	TessTime time.Duration
+}
+
+// RunInSitu runs the simulation with the tessellation embedded at selected
+// time steps. hook, when non-nil, is invoked after each snapshot (the
+// run-time analysis attachment point). It returns all snapshots in step
+// order.
+func RunInSitu(cfg InSituConfig, hook func(Snapshot)) ([]Snapshot, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("tess: non-positive step count %d", cfg.Steps)
+	}
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("tess: non-positive block count %d", cfg.Blocks)
+	}
+	if cfg.Tess.Domain.Size() != (Vec3{X: cfg.Sim.BoxSize, Y: cfg.Sim.BoxSize, Z: cfg.Sim.BoxSize}) {
+		return nil, fmt.Errorf("tess: tessellation domain %v does not match simulation box %g",
+			cfg.Tess.Domain.Size(), cfg.Sim.BoxSize)
+	}
+	if cfg.OutputDir != "" {
+		if err := os.MkdirAll(cfg.OutputDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	sim, err := nbody.New(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+
+	var snaps []Snapshot
+	simStart := time.Now()
+	var runErr error
+	analyze := func(s *nbody.Simulation) {
+		if runErr != nil {
+			return
+		}
+		simTime := time.Since(simStart)
+		tcfg := cfg.Tess
+		if cfg.OutputDir != "" {
+			tcfg.OutputPath = filepath.Join(cfg.OutputDir, fmt.Sprintf("tess-step-%04d.out", s.Step))
+		}
+		t0 := time.Now()
+		out, err := Tessellate(tcfg, ParticlesFromSim(s), cfg.Blocks)
+		if err != nil {
+			runErr = fmt.Errorf("tess: step %d: %w", s.Step, err)
+			return
+		}
+		snap := Snapshot{Step: s.Step, Output: out, SimTime: simTime, TessTime: time.Since(t0)}
+		snaps = append(snaps, snap)
+		if hook != nil {
+			hook(snap)
+		}
+		simStart = time.Now()
+	}
+
+	sim.Run(cfg.Steps, func(s *nbody.Simulation) {
+		if runErr != nil {
+			return
+		}
+		atInterval := cfg.Every > 0 && s.Step%cfg.Every == 0
+		last := s.Step == cfg.Steps
+		if atInterval || (last && (cfg.Every <= 0 || cfg.Steps%cfg.Every != 0)) {
+			analyze(s)
+		}
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return snaps, nil
+}

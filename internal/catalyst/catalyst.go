@@ -1,0 +1,159 @@
+// Package catalyst is the run-time connection of the paper's Figure 4: in
+// the paper, a ParaView server connects to the running simulation through
+// Catalyst to inspect level-1 analysis products live; here, the same role
+// is played by an HTTP endpoint that publishes the in situ pipeline's
+// status and analysis results as JSON while the simulation runs. (The
+// postprocessing path — files on parallel storage — is the meshio/diy
+// stack; this is the other of the two modes of Sec. III-B.)
+package catalyst
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/cosmotools"
+	"repro/internal/nbody"
+)
+
+// Status describes the run's progress.
+type Status struct {
+	Step       int  `json:"step"`
+	TotalSteps int  `json:"total_steps"`
+	Running    bool `json:"running"`
+	Particles  int  `json:"particles"`
+}
+
+// Server accumulates published analysis results and serves them over HTTP.
+// It is safe for concurrent use: the simulation goroutine publishes while
+// any number of HTTP clients read.
+type Server struct {
+	mu      sync.RWMutex
+	status  Status
+	results []cosmotools.Result
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server { return &Server{} }
+
+// SetStatus updates the run status.
+func (s *Server) SetStatus(st Status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.status = st
+}
+
+// Publish appends one analysis result.
+func (s *Server) Publish(r cosmotools.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results = append(s.results, r)
+}
+
+// resultJSON is the wire form of a result.
+type resultJSON struct {
+	Analysis  string             `json:"analysis"`
+	Step      int                `json:"step"`
+	Summary   string             `json:"summary"`
+	Metrics   map[string]float64 `json:"metrics"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+func toJSON(r cosmotools.Result) resultJSON {
+	return resultJSON{
+		Analysis:  r.Analysis,
+		Step:      r.Step,
+		Summary:   r.Summary,
+		Metrics:   r.Metrics,
+		ElapsedMS: float64(r.Elapsed.Microseconds()) / 1e3,
+	}
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET /status            run progress
+//	GET /results           all published results
+//	GET /results/latest    most recent result per analysis
+//	GET /analyses          names of analyses that have published
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, req *http.Request) {
+		s.mu.RLock()
+		st := s.status
+		s.mu.RUnlock()
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /results", func(w http.ResponseWriter, req *http.Request) {
+		s.mu.RLock()
+		out := make([]resultJSON, len(s.results))
+		for i, r := range s.results {
+			out[i] = toJSON(r)
+		}
+		s.mu.RUnlock()
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /results/latest", func(w http.ResponseWriter, req *http.Request) {
+		s.mu.RLock()
+		latest := map[string]cosmotools.Result{}
+		for _, r := range s.results {
+			latest[r.Analysis] = r
+		}
+		s.mu.RUnlock()
+		names := make([]string, 0, len(latest))
+		for n := range latest {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out := make([]resultJSON, 0, len(names))
+		for _, n := range names {
+			out = append(out, toJSON(latest[n]))
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /analyses", func(w http.ResponseWriter, req *http.Request) {
+		s.mu.RLock()
+		seen := map[string]bool{}
+		for _, r := range s.results {
+			seen[r.Analysis] = true
+		}
+		s.mu.RUnlock()
+		names := make([]string, 0, len(seen))
+		for n := range seen {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		writeJSON(w, names)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Attach wires a pipeline to the server: the returned hook runs the
+// pipeline's own hook, then publishes any new results and the current
+// status. Pass it to Simulation.Run in place of the pipeline hook.
+func (s *Server) Attach(p *cosmotools.Pipeline, totalSteps int) func(*nbody.Simulation) {
+	inner := p.Hook(totalSteps)
+	published := 0
+	return func(sim *nbody.Simulation) {
+		inner(sim)
+		for _, r := range p.Results[published:] {
+			s.Publish(r)
+		}
+		published = len(p.Results)
+		s.SetStatus(Status{
+			Step:       sim.Step,
+			TotalSteps: totalSteps,
+			Running:    sim.Step < totalSteps,
+			Particles:  sim.NumParticles(),
+		})
+	}
+}

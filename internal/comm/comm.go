@@ -1,0 +1,218 @@
+// Package comm is the message-passing substrate that stands in for MPI in
+// this reproduction. A World of P ranks runs one goroutine per rank; each
+// rank owns its data privately and all inter-rank data movement goes through
+// explicit messages, mirroring the distributed-memory discipline of the
+// paper's Blue Gene/P runs.
+//
+// Payloads are passed by reference for speed, but by convention the sender
+// relinquishes ownership of a sent buffer — the helpers in the diy package
+// always send freshly allocated slices, so no two ranks ever mutate the same
+// memory. Collectives (Barrier, Allreduce, Allgather, Gather, Bcast) are
+// built from the same point-to-point layer.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// World is a communicator over Size ranks. Create one with NewWorld, then
+// launch one goroutine per rank with Run.
+type World struct {
+	size int
+	// mail[dst][src] is the queue of messages from src to dst. Per-pair
+	// queues preserve MPI's pairwise ordering guarantee.
+	mail []map[int]chan message
+
+	barrier *barrier
+}
+
+type message struct {
+	tag     int
+	payload any
+}
+
+// NewWorld returns a communicator for size ranks. It panics if size <= 0.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("comm: world size %d", size))
+	}
+	w := &World{size: size, barrier: newBarrier(size)}
+	w.mail = make([]map[int]chan message, size)
+	for dst := 0; dst < size; dst++ {
+		m := make(map[int]chan message, size)
+		for src := 0; src < size; src++ {
+			m[src] = make(chan message, 64)
+		}
+		w.mail[dst] = m
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes body(rank) on size goroutines, one per rank, and waits for
+// all of them to finish. It is the moral equivalent of mpiexec.
+func (w *World) Run(body func(rank int)) {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			body(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Send delivers payload from rank src to rank dst with the given tag.
+// It blocks only if the per-pair queue is full.
+func (w *World) Send(src, dst, tag int, payload any) {
+	w.checkRank(src)
+	w.checkRank(dst)
+	w.mail[dst][src] <- message{tag: tag, payload: payload}
+}
+
+// Recv receives the next message from src addressed to dst with the given
+// tag. Messages between a fixed (src, dst) pair are received in send order;
+// a tag mismatch panics, as it indicates a protocol error in the caller
+// (this substrate has no out-of-order matching, and none is needed by DIY's
+// regular exchange patterns).
+func (w *World) Recv(dst, src, tag int) any {
+	w.checkRank(src)
+	w.checkRank(dst)
+	msg := <-w.mail[dst][src]
+	if msg.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", dst, tag, src, msg.tag))
+	}
+	return msg.payload
+}
+
+// RecvTimeout is Recv with a deadline, used by tests to detect deadlocks.
+func (w *World) RecvTimeout(dst, src, tag int, d time.Duration) (any, error) {
+	w.checkRank(src)
+	w.checkRank(dst)
+	select {
+	case msg := <-w.mail[dst][src]:
+		if msg.tag != tag {
+			return nil, fmt.Errorf("comm: rank %d expected tag %d from %d, got %d", dst, tag, src, msg.tag)
+		}
+		return msg.payload, nil
+	case <-time.After(d):
+		return nil, fmt.Errorf("comm: rank %d timed out waiting for %d (tag %d)", dst, src, tag)
+	}
+}
+
+// Sendrecv sends to dst and receives from src in a deadlock-free order
+// (sends are buffered, so post the send first).
+func (w *World) Sendrecv(rank, dst, src, tag int, payload any) any {
+	w.Send(rank, dst, tag, payload)
+	return w.Recv(rank, src, tag)
+}
+
+func (w *World) checkRank(r int) {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0, %d)", r, w.size))
+	}
+}
+
+// Barrier blocks until all ranks have entered it.
+func (w *World) Barrier() { w.barrier.await() }
+
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// Collective tags occupy a reserved range well above user tags.
+const (
+	tagGather = 1 << 20
+	tagBcast  = 1<<20 + 1
+)
+
+// Gather collects each rank's value at root, in rank order. Non-root ranks
+// receive nil.
+func Gather[T any](w *World, rank, root int, value T) []T {
+	if rank != root {
+		w.Send(rank, root, tagGather, value)
+		return nil
+	}
+	out := make([]T, w.size)
+	out[root] = value
+	for src := 0; src < w.size; src++ {
+		if src == root {
+			continue
+		}
+		out[src] = w.Recv(root, src, tagGather).(T)
+	}
+	return out
+}
+
+// Bcast distributes root's value to every rank and returns it.
+func Bcast[T any](w *World, rank, root int, value T) T {
+	if rank == root {
+		for dst := 0; dst < w.size; dst++ {
+			if dst != root {
+				w.Send(root, dst, tagBcast, value)
+			}
+		}
+		return value
+	}
+	return w.Recv(rank, root, tagBcast).(T)
+}
+
+// Allgather collects each rank's value on every rank, in rank order.
+func Allgather[T any](w *World, rank int, value T) []T {
+	all := Gather(w, rank, 0, value)
+	return Bcast(w, rank, 0, all)
+}
+
+// Allreduce combines every rank's value with op (which must be associative
+// and commutative) and returns the result on all ranks.
+func Allreduce[T any](w *World, rank int, value T, op func(a, b T) T) T {
+	all := Allgather(w, rank, value)
+	acc := all[0]
+	for _, v := range all[1:] {
+		acc = op(acc, v)
+	}
+	return acc
+}
+
+// MaxDuration is an Allreduce operator for the common "slowest rank"
+// timing reduction used by the performance harness.
+func MaxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumInt64 is an Allreduce operator for totals.
+func SumInt64(a, b int64) int64 { return a + b }

@@ -1,0 +1,284 @@
+package comm
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewWorldPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestRunExecutesAllRanks(t *testing.T) {
+	w := NewWorld(8)
+	var count int32
+	seen := make([]int32, 8)
+	w.Run(func(rank int) {
+		atomic.AddInt32(&count, 1)
+		atomic.StoreInt32(&seen[rank], 1)
+	})
+	if count != 8 {
+		t.Errorf("ran %d ranks, want 8", count)
+	}
+	for r, s := range seen {
+		if s != 1 {
+			t.Errorf("rank %d did not run", r)
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(rank int) {
+		if rank == 0 {
+			w.Send(0, 1, 7, []int{1, 2, 3})
+		} else {
+			got := w.Recv(1, 0, 7).([]int)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+}
+
+func TestPairwiseOrdering(t *testing.T) {
+	w := NewWorld(2)
+	const n = 100
+	w.Run(func(rank int) {
+		if rank == 0 {
+			for i := 0; i < n; i++ {
+				w.Send(0, 1, 1, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				got := w.Recv(1, 0, 1).(int)
+				if got != i {
+					t.Errorf("message %d arrived as %d", i, got)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestRecvTagMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	w.Send(0, 1, 5, "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on tag mismatch")
+		}
+	}()
+	w.Recv(1, 0, 6)
+}
+
+func TestRecvTimeout(t *testing.T) {
+	w := NewWorld(2)
+	if _, err := w.RecvTimeout(1, 0, 0, 10*time.Millisecond); err == nil {
+		t.Error("expected timeout error")
+	}
+	w.Send(0, 1, 3, 42)
+	v, err := w.RecvTimeout(1, 0, 3, time.Second)
+	if err != nil || v.(int) != 42 {
+		t.Errorf("got %v, %v", v, err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const p = 5
+	w := NewWorld(p)
+	results := make([]int, p)
+	w.Run(func(rank int) {
+		dst := (rank + 1) % p
+		src := (rank - 1 + p) % p
+		got := w.Sendrecv(rank, dst, src, 9, rank).(int)
+		results[rank] = got
+	})
+	for r := 0; r < p; r++ {
+		want := (r - 1 + p) % p
+		if results[r] != want {
+			t.Errorf("rank %d received %d, want %d", r, results[r], want)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 6
+	w := NewWorld(p)
+	var phase1 int32
+	fail := make(chan string, p)
+	w.Run(func(rank int) {
+		if rank == 0 {
+			time.Sleep(20 * time.Millisecond) // straggler
+		}
+		atomic.AddInt32(&phase1, 1)
+		w.Barrier()
+		if got := atomic.LoadInt32(&phase1); got != p {
+			fail <- "barrier released before all ranks arrived"
+		}
+	})
+	select {
+	case msg := <-fail:
+		t.Error(msg)
+	default:
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	var counter int32
+	w.Run(func(rank int) {
+		for round := 0; round < 10; round++ {
+			atomic.AddInt32(&counter, 1)
+			w.Barrier()
+			want := int32((round + 1) * p)
+			if got := atomic.LoadInt32(&counter); got != want {
+				t.Errorf("round %d: counter %d, want %d", round, got, want)
+				return
+			}
+			w.Barrier()
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	const p = 5
+	w := NewWorld(p)
+	var mu sync.Mutex
+	var rootResult []int
+	w.Run(func(rank int) {
+		res := Gather(w, rank, 2, rank*10)
+		if rank == 2 {
+			mu.Lock()
+			rootResult = res
+			mu.Unlock()
+		} else if res != nil {
+			t.Errorf("non-root rank %d got %v", rank, res)
+		}
+	})
+	for r := 0; r < p; r++ {
+		if rootResult[r] != r*10 {
+			t.Errorf("gathered[%d] = %d", r, rootResult[r])
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	const p = 7
+	w := NewWorld(p)
+	got := make([]string, p)
+	w.Run(func(rank int) {
+		v := "default"
+		if rank == 3 {
+			v = "hello"
+		}
+		got[rank] = Bcast(w, rank, 3, v)
+	})
+	for r := 0; r < p; r++ {
+		if got[r] != "hello" {
+			t.Errorf("rank %d got %q", r, got[r])
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const p = 4
+	w := NewWorld(p)
+	results := make([][]int, p)
+	w.Run(func(rank int) {
+		results[rank] = Allgather(w, rank, rank+1)
+	})
+	for r := 0; r < p; r++ {
+		for i := 0; i < p; i++ {
+			if results[r][i] != i+1 {
+				t.Errorf("rank %d: allgather[%d] = %d", r, i, results[r][i])
+			}
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const p = 6
+	w := NewWorld(p)
+	results := make([]int64, p)
+	w.Run(func(rank int) {
+		results[rank] = Allreduce(w, rank, int64(rank), SumInt64)
+	})
+	want := int64(0 + 1 + 2 + 3 + 4 + 5)
+	for r, v := range results {
+		if v != want {
+			t.Errorf("rank %d: allreduce = %d, want %d", r, v, want)
+		}
+	}
+}
+
+func TestAllreduceMaxDuration(t *testing.T) {
+	const p = 3
+	w := NewWorld(p)
+	results := make([]time.Duration, p)
+	w.Run(func(rank int) {
+		results[rank] = Allreduce(w, rank, time.Duration(rank)*time.Second, MaxDuration)
+	})
+	for r, v := range results {
+		if v != 2*time.Second {
+			t.Errorf("rank %d: max = %v", r, v)
+		}
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	const p = 32
+	w := NewWorld(p)
+	rng := rand.New(rand.NewSource(23))
+	delays := make([]time.Duration, p)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	sums := make([]int64, p)
+	w.Run(func(rank int) {
+		time.Sleep(delays[rank])
+		// Everyone exchanges with everyone via allgather; then reduce.
+		all := Allgather(w, rank, int64(rank*rank))
+		var s int64
+		for _, v := range all {
+			s += v
+		}
+		sums[rank] = s
+	})
+	var want int64
+	for r := 0; r < p; r++ {
+		want += int64(r * r)
+	}
+	for r, s := range sums {
+		if s != want {
+			t.Errorf("rank %d: sum %d, want %d", r, s, want)
+		}
+	}
+}
+
+func TestRankRangeChecks(t *testing.T) {
+	w := NewWorld(2)
+	for _, fn := range []func(){
+		func() { w.Send(0, 5, 0, nil) },
+		func() { w.Send(-1, 0, 0, nil) },
+		func() { w.Recv(0, 9, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range rank")
+				}
+			}()
+			fn()
+		}()
+	}
+}

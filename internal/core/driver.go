@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/diy"
+	"repro/internal/geom"
+	"repro/internal/meshio"
+	"repro/internal/voids"
+)
+
+// Output is the gathered result of a full tessellation pass.
+type Output struct {
+	Meshes []*meshio.BlockMesh // indexed by rank
+	Counts CellCounts          // global totals
+	Timing Timing              // slowest-rank per phase
+	Ghosts int                 // total ghost particles exchanged
+	// Voids holds the in situ component labeling when Config.LabelVoids is
+	// set (sorted by decreasing volume).
+	Voids []voids.Component
+}
+
+// labelVoids runs the in situ connected-component pass over the gathered
+// meshes.
+func (o *Output) labelVoids(threshold float64) {
+	var recs []voids.CellRecord
+	for bi, m := range o.Meshes {
+		if m == nil {
+			continue
+		}
+		recs = append(recs, voids.CellsFromMesh(m, bi)...)
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if threshold <= 0 {
+		var sum float64
+		for _, r := range recs {
+			sum += r.Volume
+		}
+		threshold = sum / float64(len(recs))
+	}
+	o.Voids = voids.ConnectedComponents(voids.Threshold(recs, threshold))
+}
+
+// Run executes a complete parallel tessellation: it decomposes the domain
+// into numBlocks blocks, partitions the particles, spawns one rank per
+// block, and runs the tess pipeline collectively. It is the standalone-mode
+// entry point; in situ callers drive TessellateBlock directly from their
+// simulation ranks.
+func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
+	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateGhost(d, cfg.GhostSize); err != nil {
+		return nil, err
+	}
+	for _, p := range particles {
+		if !cfg.Domain.Contains(p.Pos) {
+			return nil, fmt.Errorf("core: particle %d at %v outside domain", p.ID, p.Pos)
+		}
+	}
+	parts := diy.PartitionParticles(d, particles)
+
+	w := comm.NewWorld(numBlocks)
+	out := &Output{Meshes: make([]*meshio.BlockMesh, numBlocks)}
+	errs := make([]error, numBlocks)
+	var mu sync.Mutex
+	w.Run(func(rank int) {
+		res, tm, err := TessellateBlock(w, d, rank, parts[rank], cfg)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		gtm := ReduceTiming(w, rank, tm)
+		gcnt := SumCounts(w, rank, res.Counts)
+		gghost := comm.Allreduce(w, rank, int64(res.Ghosts), comm.SumInt64)
+		mu.Lock()
+		out.Meshes[rank] = res.Mesh
+		if rank == 0 {
+			out.Timing = gtm
+			out.Counts = gcnt
+			out.Ghosts = int(gghost)
+		}
+		mu.Unlock()
+	})
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+	if cfg.LabelVoids {
+		out.labelVoids(cfg.VoidThreshold)
+	}
+	return out, nil
+}
+
+// CellSummary is the per-cell view used by the accuracy study and the
+// statistics harnesses: one row per kept cell, identified by particle ID.
+type CellSummary struct {
+	ID       int64
+	Site     geom.Vec3
+	Volume   float64
+	Area     float64
+	Faces    int
+	Complete bool
+}
+
+// Summaries flattens gathered meshes into per-cell rows.
+func (o *Output) Summaries() []CellSummary {
+	var out []CellSummary
+	for _, m := range o.Meshes {
+		if m == nil {
+			continue
+		}
+		for i := range m.Particles {
+			out = append(out, CellSummary{
+				ID:       m.ParticleIDs[i],
+				Site:     m.Particles[i],
+				Volume:   m.Volumes[i],
+				Area:     m.Areas[i],
+				Faces:    len(m.Cells[i].Faces),
+				Complete: m.Complete[i],
+			})
+		}
+	}
+	return out
+}
+
+// Volumes returns all kept cell volumes.
+func (o *Output) Volumes() []float64 {
+	var out []float64
+	for _, m := range o.Meshes {
+		if m == nil {
+			continue
+		}
+		out = append(out, m.Volumes...)
+	}
+	return out
+}
+
+// AccuracyReport compares a parallel run against a reference (serial) run,
+// reproducing Table I's "matching cells" metric: a cell matches when the
+// reference contains the same particle ID with the same face count and a
+// volume equal to relative tolerance tol.
+type AccuracyReport struct {
+	ReferenceCells int
+	ParallelCells  int
+	Matching       int
+	// Accuracy is Matching / ReferenceCells.
+	Accuracy float64
+}
+
+// CompareAccuracy matches parallel cells against reference cells by ID.
+func CompareAccuracy(reference, parallel []CellSummary, tol float64) AccuracyReport {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	ref := make(map[int64]CellSummary, len(reference))
+	for _, c := range reference {
+		ref[c.ID] = c
+	}
+	rep := AccuracyReport{ReferenceCells: len(reference), ParallelCells: len(parallel)}
+	for _, c := range parallel {
+		r, ok := ref[c.ID]
+		if !ok {
+			continue
+		}
+		dv := c.Volume - r.Volume
+		if dv < 0 {
+			dv = -dv
+		}
+		if c.Faces == r.Faces && dv <= tol*r.Volume {
+			rep.Matching++
+		}
+	}
+	if rep.ReferenceCells > 0 {
+		rep.Accuracy = float64(rep.Matching) / float64(rep.ReferenceCells)
+	}
+	return rep
+}

@@ -1,0 +1,526 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/diy"
+	"repro/internal/geom"
+	"repro/internal/meshio"
+	"repro/internal/voronoi"
+)
+
+func perturbedParticles(rng *rand.Rand, n int, L, amp float64) []diy.Particle {
+	h := L / float64(n)
+	var ps []diy.Particle
+	id := int64(0)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				ps = append(ps, diy.Particle{
+					ID: id,
+					Pos: geom.V(
+						(float64(x)+0.5)*h+(rng.Float64()-0.5)*amp*h,
+						(float64(y)+0.5)*h+(rng.Float64()-0.5)*amp*h,
+						(float64(z)+0.5)*h+(rng.Float64()-0.5)*amp*h),
+				})
+				id++
+			}
+		}
+	}
+	return ps
+}
+
+func domainBox(L float64) geom.Box {
+	return geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L))
+}
+
+func baseConfig(L float64) Config {
+	return Config{
+		Domain:    domainBox(L),
+		Periodic:  true,
+		GhostSize: 3,
+	}
+}
+
+// serialReference computes the exact periodic tessellation summaries.
+func serialReference(t testing.TB, ps []diy.Particle, L float64) []CellSummary {
+	t.Helper()
+	pts := make([]geom.Vec3, len(ps))
+	ids := make([]int64, len(ps))
+	for i, p := range ps {
+		pts[i] = p.Pos
+		ids[i] = p.ID
+	}
+	cells, err := voronoi.ComputePeriodic(pts, ids, L, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]CellSummary, len(cells))
+	for i, c := range cells {
+		out[i] = CellSummary{
+			ID: c.SiteID, Site: c.Site, Volume: c.Volume(), Area: c.Area(),
+			Faces: len(c.Faces), Complete: c.Complete,
+		}
+	}
+	return out
+}
+
+func TestRunPartitionOfUnity(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.8)
+	for _, blocks := range []int{1, 2, 4, 8} {
+		out, err := Run(baseConfig(L), ps, blocks)
+		if err != nil {
+			t.Fatalf("blocks=%d: %v", blocks, err)
+		}
+		if out.Counts.Kept != int64(len(ps)) {
+			t.Fatalf("blocks=%d: kept %d of %d cells (incomplete %d)",
+				blocks, out.Counts.Kept, len(ps), out.Counts.Incomplete)
+		}
+		var vol float64
+		for _, v := range out.Volumes() {
+			vol += v
+		}
+		if math.Abs(vol-L*L*L) > 1e-6*L*L*L {
+			t.Fatalf("blocks=%d: total volume %v, want %v", blocks, vol, L*L*L)
+		}
+	}
+}
+
+func TestParallelMatchesSerialWithAdequateGhost(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	ref := serialReference(t, ps, L)
+	for _, blocks := range []int{2, 4, 8} {
+		out, err := Run(baseConfig(L), ps, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := CompareAccuracy(ref, out.Summaries(), 1e-6)
+		if rep.Accuracy < 1.0 {
+			t.Fatalf("blocks=%d: accuracy %.4f (%d/%d matching)",
+				blocks, rep.Accuracy, rep.Matching, rep.ReferenceCells)
+		}
+	}
+}
+
+func TestAccuracyDegradesWithoutGhost(t *testing.T) {
+	// The Table I effect: ghost size 0 produces wrong boundary cells, and
+	// more blocks produce more errors.
+	rng := rand.New(rand.NewSource(76))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	ref := serialReference(t, ps, L)
+	cfg := baseConfig(L)
+	cfg.GhostSize = 0
+	cfg.KeepIncomplete = true
+	acc := make(map[int]float64)
+	for _, blocks := range []int{2, 8} {
+		out, err := Run(cfg, ps, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := CompareAccuracy(ref, out.Summaries(), 1e-6)
+		acc[blocks] = rep.Accuracy
+		if rep.Accuracy >= 1.0 {
+			t.Fatalf("blocks=%d: ghost 0 should not be fully accurate", blocks)
+		}
+	}
+	if acc[8] > acc[2] {
+		t.Errorf("more blocks should not improve ghost-0 accuracy: %v", acc)
+	}
+}
+
+func TestIncompleteCellsDeletedByDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	cfg := baseConfig(L)
+	cfg.GhostSize = 0.5 // too small: boundary cells cannot be proven
+	out, err := Run(cfg, ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Counts.Incomplete == 0 {
+		t.Error("tiny ghost produced no incomplete cells")
+	}
+	if out.Counts.Kept+out.Counts.Incomplete != out.Counts.Sites {
+		t.Errorf("counts don't add up: %+v", out.Counts)
+	}
+}
+
+func TestVolumeThresholdCulling(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	cfg := baseConfig(L)
+	cfg.MinVolume = 1.0 // the mean cell volume; culls roughly half
+	out, err := Run(cfg, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Counts.CulledEarly+out.Counts.CulledExact == 0 {
+		t.Error("threshold culled nothing")
+	}
+	if out.Counts.Kept == 0 {
+		t.Error("threshold culled everything")
+	}
+	for _, v := range out.Volumes() {
+		if v < cfg.MinVolume {
+			t.Fatalf("kept cell with volume %v below threshold", v)
+		}
+	}
+	// Early culling must agree with exact culling: re-run without the
+	// early path via a config that disables MinVolume and apply the cut
+	// manually.
+	ref, err := Run(baseConfig(L), ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKept := 0
+	for _, v := range ref.Volumes() {
+		if v >= cfg.MinVolume {
+			wantKept++
+		}
+	}
+	if int(out.Counts.Kept) != wantKept {
+		t.Errorf("kept %d cells, exact filter keeps %d", out.Counts.Kept, wantKept)
+	}
+}
+
+func TestMaxVolumeCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	const L = 6.0
+	ps := perturbedParticles(rng, 6, L, 0.9)
+	cfg := baseConfig(L)
+	cfg.MaxVolume = 1.0
+	out, err := Run(cfg, ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Volumes() {
+		if v > cfg.MaxVolume {
+			t.Fatalf("kept cell with volume %v above MaxVolume", v)
+		}
+	}
+}
+
+func TestHullPassAgreesWithClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	const L = 6.0
+	ps := perturbedParticles(rng, 6, L, 0.8)
+	cfgHull := baseConfig(L)
+	cfgHull.HullPass = true
+	cfgHull.MinVolume = 0.7
+	outHull, err := Run(cfgHull, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgClip := cfgHull
+	cfgClip.HullPass = false
+	outClip, err := Run(cfgClip, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outHull.Counts.Kept != outClip.Counts.Kept {
+		t.Errorf("hull pass changed survivor count: %d vs %d",
+			outHull.Counts.Kept, outClip.Counts.Kept)
+	}
+}
+
+func TestOutputFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	const L = 6.0
+	ps := perturbedParticles(rng, 6, L, 0.8)
+	dir := t.TempDir()
+	cfg := baseConfig(L)
+	cfg.OutputPath = filepath.Join(dir, "tess.out")
+	out, err := Run(cfg, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Timing.OutputBytes <= 0 {
+		t.Error("no output bytes recorded")
+	}
+	st, err := os.Stat(cfg.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != out.Timing.OutputBytes {
+		t.Errorf("file size %d, recorded %d", st.Size(), out.Timing.OutputBytes)
+	}
+	blocks, err := diy.ReadAllBlocks(cfg.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("file has %d blocks", len(blocks))
+	}
+	total := 0
+	for bi, data := range blocks {
+		m, err := meshio.DecodeBlockMesh(data)
+		if err != nil {
+			t.Fatalf("block %d: %v", bi, err)
+		}
+		total += m.NumCells()
+		// Written mesh matches the in-memory mesh.
+		if m.NumCells() != out.Meshes[bi].NumCells() {
+			t.Fatalf("block %d: %d cells on disk, %d in memory", bi, m.NumCells(), out.Meshes[bi].NumCells())
+		}
+	}
+	if total != len(ps) {
+		t.Errorf("file holds %d cells, want %d", total, len(ps))
+	}
+}
+
+func TestRunRejectsOutOfDomainParticles(t *testing.T) {
+	cfg := baseConfig(4)
+	ps := []diy.Particle{{ID: 0, Pos: geom.V(10, 1, 1)}}
+	if _, err := Run(cfg, ps, 2); err == nil {
+		t.Error("out-of-domain particle accepted")
+	}
+}
+
+func TestEachCellOwnedByExactlyOneBlock(t *testing.T) {
+	// The paper's duplicate-resolution invariant (step 3a): across all
+	// blocks, each particle ID appears exactly once.
+	rng := rand.New(rand.NewSource(82))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	out, err := Run(baseConfig(L), ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]int{}
+	for _, s := range out.Summaries() {
+		seen[s.ID]++
+	}
+	if len(seen) != len(ps) {
+		t.Fatalf("%d unique cells, want %d", len(seen), len(ps))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("particle %d owned by %d blocks", id, n)
+		}
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	const L = 6.0
+	ps := perturbedParticles(rng, 6, L, 0.8)
+	out, err := Run(baseConfig(L), ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Timing.Compute <= 0 {
+		t.Error("compute time not recorded")
+	}
+	if out.Timing.Total < out.Timing.Compute {
+		t.Error("total < compute")
+	}
+	if out.Ghosts == 0 {
+		t.Error("no ghosts recorded")
+	}
+}
+
+func TestCompareAccuracyEdgeCases(t *testing.T) {
+	rep := CompareAccuracy(nil, nil, 0)
+	if rep.Accuracy != 0 || rep.Matching != 0 {
+		t.Errorf("empty compare: %+v", rep)
+	}
+	ref := []CellSummary{{ID: 1, Volume: 2, Faces: 6}}
+	par := []CellSummary{{ID: 1, Volume: 2, Faces: 6}, {ID: 9, Volume: 1, Faces: 4}}
+	rep = CompareAccuracy(ref, par, 1e-9)
+	if rep.Matching != 1 || rep.Accuracy != 1 {
+		t.Errorf("match: %+v", rep)
+	}
+	// Volume off by more than tolerance: no match.
+	par[0].Volume = 2.1
+	rep = CompareAccuracy(ref, par, 1e-9)
+	if rep.Matching != 0 {
+		t.Errorf("tolerant match: %+v", rep)
+	}
+}
+
+func TestRunTimedMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	cfg := baseConfig(L)
+	cfg.MinVolume = 0.5
+	a, err := Run(cfg, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTimed(cfg, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts {
+		t.Fatalf("counts differ: %+v vs %+v", a.Counts, b.Counts)
+	}
+	sa, sb := a.Summaries(), b.Summaries()
+	if len(sa) != len(sb) {
+		t.Fatalf("cell counts differ: %d vs %d", len(sa), len(sb))
+	}
+	bm := map[int64]CellSummary{}
+	for _, s := range sb {
+		bm[s.ID] = s
+	}
+	for _, s := range sa {
+		o, ok := bm[s.ID]
+		if !ok {
+			t.Fatalf("cell %d missing from timed run", s.ID)
+		}
+		if math.Abs(s.Volume-o.Volume) > 1e-12 || s.Faces != o.Faces {
+			t.Fatalf("cell %d differs between drivers", s.ID)
+		}
+	}
+	if b.SumCompute <= 0 || len(b.PerRankCompute) != 4 {
+		t.Errorf("per-rank timings not populated")
+	}
+}
+
+func TestRunTimedOutputFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const L = 6.0
+	ps := perturbedParticles(rng, 6, L, 0.8)
+	cfg := baseConfig(L)
+	cfg.OutputPath = filepath.Join(t.TempDir(), "timed.out")
+	out, err := RunTimed(cfg, ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Timing.OutputBytes <= 0 {
+		t.Error("no output bytes")
+	}
+	blocks, err := diy.ReadAllBlocks(cfg.OutputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Errorf("blocks on disk = %d", len(blocks))
+	}
+}
+
+func TestEstimateGhost(t *testing.T) {
+	cfg := baseConfig(8)
+	g, err := EstimateGhost(cfg, 512, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512 particles in an 8^3 box: spacing 1, factor 4 -> ghost 4.
+	if math.Abs(g-4) > 1e-9 {
+		t.Errorf("ghost = %v, want 4", g)
+	}
+	// Clamped by thin blocks: 8 blocks -> sides 4.
+	g, err = EstimateGhost(cfg, 512, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-9 {
+		t.Errorf("clamped ghost = %v, want 4", g)
+	}
+	if _, err := EstimateGhost(cfg, 0, 1, 0); err == nil {
+		t.Error("zero particles accepted")
+	}
+}
+
+func TestAutoRunFindsSufficientGhost(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	cfg := baseConfig(L)
+	cfg.GhostSize = 0.5 // deliberately too small: AutoRun must grow it
+	out, ghost, err := AutoRun(cfg, ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Counts.Incomplete != 0 {
+		t.Fatalf("AutoRun left %d incomplete cells at ghost %g", out.Counts.Incomplete, ghost)
+	}
+	if ghost <= 0.5 {
+		t.Errorf("ghost did not grow: %v", ghost)
+	}
+	if out.Counts.Kept != int64(len(ps)) {
+		t.Errorf("kept %d of %d", out.Counts.Kept, len(ps))
+	}
+}
+
+func TestAutoRunDefaultsGhost(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.8)
+	cfg := baseConfig(L)
+	cfg.GhostSize = 0
+	out, ghost, err := AutoRun(cfg, ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ghost < 3 || ghost > 4.001 {
+		t.Errorf("estimated ghost = %v", ghost)
+	}
+	if out.Counts.Incomplete != 0 {
+		t.Errorf("incomplete cells with estimated ghost: %d", out.Counts.Incomplete)
+	}
+}
+
+func TestAutoRunStopsAtMaxGhost(t *testing.T) {
+	// A lone particle cluster in a huge empty box: cells can never be
+	// proven complete; AutoRun must terminate at the max ghost and report
+	// the incompleteness instead of looping.
+	const L = 16.0
+	var ps []diy.Particle
+	rng := rand.New(rand.NewSource(112))
+	for i := 0; i < 20; i++ {
+		ps = append(ps, diy.Particle{ID: int64(i), Pos: geom.V(
+			8+rng.Float64(), 8+rng.Float64(), 8+rng.Float64())})
+	}
+	cfg := baseConfig(L)
+	cfg.GhostSize = 1
+	out, ghost, err := AutoRun(cfg, ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ghost-8) > 1e-9 { // 8 blocks of side 8
+		t.Errorf("final ghost = %v, want the max 8", ghost)
+	}
+	_ = out
+}
+
+func TestLabelVoidsInSitu(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	const L = 8.0
+	ps := perturbedParticles(rng, 8, L, 0.9)
+	cfg := baseConfig(L)
+	cfg.LabelVoids = true
+	out, err := Run(cfg, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Voids) == 0 {
+		t.Fatal("in situ labeling produced no components")
+	}
+	// Components hold only above-threshold cells and are volume-sorted.
+	for i := 1; i < len(out.Voids); i++ {
+		if out.Voids[i].Functionals.Volume > out.Voids[i-1].Functionals.Volume {
+			t.Fatal("components not sorted by volume")
+		}
+	}
+	// Without the flag, no labeling happens.
+	cfg.LabelVoids = false
+	out2, err := Run(cfg, ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Voids != nil {
+		t.Error("labeling ran without the flag")
+	}
+}

@@ -1,0 +1,279 @@
+// Package cosmo provides the cosmological ingredients needed to stand in
+// for HACC's initializer: a CDM-like matter power spectrum (power law times
+// a BBKS transfer function), Gaussian random field realizations on a grid,
+// and Zel'dovich-approximation particle displacements used as initial
+// conditions for the N-body solver.
+//
+// Conventions follow the paper's setup: particles are initialized on a
+// regular lattice with ng grid points per dimension, a box of physical size
+// equal to ng (so the initial interparticle spacing is 1 Mpc/h), and then
+// displaced by the Zel'dovich field.
+package cosmo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fft"
+	"repro/internal/geom"
+)
+
+// Params holds the cosmology and realization parameters for initial
+// conditions.
+type Params struct {
+	// OmegaM is the matter density parameter (used by the BBKS shape).
+	OmegaM float64
+	// H is the dimensionless Hubble parameter h.
+	H float64
+	// SpectralIndex is the primordial power-law index n_s.
+	SpectralIndex float64
+	// Sigma8Like sets the overall normalization of the displacement field:
+	// it is the target RMS displacement in units of the interparticle
+	// spacing. Values around 0.1-0.3 give a gentle, perturbative start;
+	// larger values start the run closer to shell crossing.
+	Sigma8Like float64
+	// Seed seeds the Gaussian random field realization.
+	Seed int64
+}
+
+// DefaultParams returns a WMAP7-flavored parameter set scaled for the
+// laptop-size runs used by the reproduction harness.
+func DefaultParams() Params {
+	return Params{
+		OmegaM:        0.265,
+		H:             0.71,
+		SpectralIndex: 0.963,
+		Sigma8Like:    0.1,
+		Seed:          1,
+	}
+}
+
+// BBKS returns the BBKS (Bardeen-Bond-Kaiser-Szalay 1986) CDM transfer
+// function T(k) for wavenumber k in h/Mpc, using shape parameter
+// Gamma = OmegaM * h.
+func (p Params) BBKS(k float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	gamma := p.OmegaM * p.H
+	if gamma <= 0 {
+		gamma = 0.2
+	}
+	q := k / gamma
+	return math.Log(1+2.34*q) / (2.34 * q) *
+		math.Pow(1+3.89*q+math.Pow(16.1*q, 2)+math.Pow(5.46*q, 3)+math.Pow(6.71*q, 4), -0.25)
+}
+
+// Power returns the (unnormalized) matter power spectrum
+// P(k) = k^n T(k)^2 used to shape the Gaussian random field.
+func (p Params) Power(k float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	t := p.BBKS(k)
+	return math.Pow(k, p.SpectralIndex) * t * t
+}
+
+// GrowthFactor returns the linear growth factor D(a) for an
+// Einstein-de-Sitter-like matter era, normalized to D(1) = 1. The paper's
+// analysis only needs qualitative growth (cell statistics steepen over
+// time), for which D(a) = a is the standard matter-dominated behaviour.
+func GrowthFactor(a float64) float64 { return a }
+
+// DisplacementField is a Zel'dovich displacement realization on an ng^3
+// lattice: Psi[i] is the comoving displacement of lattice site i, indexed
+// like fft.Grid3 ((z*ng+y)*ng+x).
+type DisplacementField struct {
+	Ng  int
+	Box float64
+	Psi []geom.Vec3
+}
+
+// GenerateDisplacements builds a Zel'dovich displacement field on an ng^3
+// lattice in a periodic box of side boxSize. The field is derived from a
+// Gaussian random density contrast delta with spectrum Power(k):
+// Psi(k) = i k/k^2 delta(k), evaluated with three inverse FFTs. The result
+// is rescaled so the RMS displacement equals Sigma8Like times the
+// interparticle spacing.
+func GenerateDisplacements(p Params, ng int, boxSize float64) (*DisplacementField, error) {
+	if !fft.IsPow2(ng) {
+		return nil, fmt.Errorf("cosmo: ng = %d is not a power of two", ng)
+	}
+	if boxSize <= 0 {
+		return nil, fmt.Errorf("cosmo: non-positive box size %g", boxSize)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Real-space white noise, then shape it in Fourier space. Building the
+	// field from real-space noise guarantees the Hermitian symmetry that
+	// makes the displacements real.
+	delta := fft.NewGrid3(ng)
+	for i := range delta.Data {
+		delta.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	fft.Forward3(delta)
+
+	k0 := 2 * math.Pi / boxSize
+	for z := 0; z < ng; z++ {
+		kz := float64(fft.FreqIndex(z, ng)) * k0
+		for y := 0; y < ng; y++ {
+			ky := float64(fft.FreqIndex(y, ng)) * k0
+			for x := 0; x < ng; x++ {
+				kx := float64(fft.FreqIndex(x, ng)) * k0
+				k := math.Sqrt(kx*kx + ky*ky + kz*kz)
+				idx := delta.Index(x, y, z)
+				if k == 0 {
+					delta.Data[idx] = 0
+					continue
+				}
+				delta.Data[idx] *= complex(math.Sqrt(p.Power(k)), 0)
+			}
+		}
+	}
+
+	// Psi_j(k) = i k_j / k^2 * delta(k).
+	psi := make([]geom.Vec3, ng*ng*ng)
+	comp := fft.NewGrid3(ng)
+	for j := 0; j < 3; j++ {
+		for z := 0; z < ng; z++ {
+			kz := float64(fft.FreqIndex(z, ng)) * k0
+			for y := 0; y < ng; y++ {
+				ky := float64(fft.FreqIndex(y, ng)) * k0
+				for x := 0; x < ng; x++ {
+					kx := float64(fft.FreqIndex(x, ng)) * k0
+					k2 := kx*kx + ky*ky + kz*kz
+					idx := comp.Index(x, y, z)
+					if k2 == 0 {
+						comp.Data[idx] = 0
+						continue
+					}
+					kj := [3]float64{kx, ky, kz}[j]
+					comp.Data[idx] = delta.Data[idx] * complex(0, kj/k2)
+				}
+			}
+		}
+		fft.Inverse3(comp)
+		for i := range psi {
+			switch j {
+			case 0:
+				psi[i].X = real(comp.Data[i])
+			case 1:
+				psi[i].Y = real(comp.Data[i])
+			default:
+				psi[i].Z = real(comp.Data[i])
+			}
+		}
+	}
+
+	// Normalize RMS displacement to Sigma8Like * spacing.
+	var sum2 float64
+	for _, v := range psi {
+		sum2 += v.Norm2()
+	}
+	rms := math.Sqrt(sum2 / float64(len(psi)))
+	spacing := boxSize / float64(ng)
+	if rms > 0 {
+		scale := p.Sigma8Like * spacing / rms
+		for i := range psi {
+			psi[i] = psi[i].Scale(scale)
+		}
+	}
+	return &DisplacementField{Ng: ng, Box: boxSize, Psi: psi}, nil
+}
+
+// LatticePositions returns the ng^3 unperturbed lattice positions for a
+// periodic box of side boxSize, ordered like fft.Grid3 indexing.
+func LatticePositions(ng int, boxSize float64) []geom.Vec3 {
+	spacing := boxSize / float64(ng)
+	pts := make([]geom.Vec3, 0, ng*ng*ng)
+	for z := 0; z < ng; z++ {
+		for y := 0; y < ng; y++ {
+			for x := 0; x < ng; x++ {
+				pts = append(pts, geom.Vec3{
+					X: (float64(x) + 0.5) * spacing,
+					Y: (float64(y) + 0.5) * spacing,
+					Z: (float64(z) + 0.5) * spacing,
+				})
+			}
+		}
+	}
+	return pts
+}
+
+// ZeldovichIC returns particle positions and velocities from the Zel'dovich
+// approximation: x = q + D(a) Psi(q), v = dD/da * adot * Psi ~ Psi (we use
+// the growing-mode proportionality and let the N-body integrator's time
+// units absorb constants). Positions are wrapped into the periodic box.
+func ZeldovichIC(p Params, ng int, boxSize float64, a float64) (pos, vel []geom.Vec3, err error) {
+	df, err := GenerateDisplacements(p, ng, boxSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	lattice := LatticePositions(ng, boxSize)
+	d := GrowthFactor(a)
+	pos = make([]geom.Vec3, len(lattice))
+	vel = make([]geom.Vec3, len(lattice))
+	for i := range lattice {
+		pos[i] = Wrap(lattice[i].Add(df.Psi[i].Scale(d)), boxSize)
+		vel[i] = df.Psi[i].Scale(d)
+	}
+	return pos, vel, nil
+}
+
+// Wrap maps a point into the periodic box [0, L)^3.
+func Wrap(v geom.Vec3, L float64) geom.Vec3 {
+	return geom.Vec3{X: wrap1(v.X, L), Y: wrap1(v.Y, L), Z: wrap1(v.Z, L)}
+}
+
+func wrap1(x, L float64) float64 {
+	x = math.Mod(x, L)
+	if x < 0 {
+		x += L
+	}
+	// math.Mod can return exactly L for inputs like -1e-17.
+	if x >= L {
+		x = 0
+	}
+	return x
+}
+
+// MinImage returns the minimum-image displacement from a to b in a periodic
+// box of side L: the shortest vector d such that a + d == b modulo L.
+func MinImage(a, b geom.Vec3, L float64) geom.Vec3 {
+	d := b.Sub(a)
+	return geom.Vec3{X: minImage1(d.X, L), Y: minImage1(d.Y, L), Z: minImage1(d.Z, L)}
+}
+
+func minImage1(d, L float64) float64 {
+	d = math.Mod(d, L)
+	switch {
+	case d > L/2:
+		d -= L
+	case d < -L/2:
+		d += L
+	}
+	return d
+}
+
+// DensityContrast converts cell densities to density contrasts
+// delta = (d - mean)/mean, the quantity histogrammed in the paper's
+// Figure 11 (Eq. 2). A zero or negative mean yields a nil slice.
+func DensityContrast(density []float64) []float64 {
+	if len(density) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, d := range density {
+		sum += d
+	}
+	mean := sum / float64(len(density))
+	if mean <= 0 {
+		return nil
+	}
+	out := make([]float64, len(density))
+	for i, d := range density {
+		out[i] = (d - mean) / mean
+	}
+	return out
+}

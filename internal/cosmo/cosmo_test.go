@@ -1,0 +1,310 @@
+package cosmo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestBBKSLimits(t *testing.T) {
+	p := DefaultParams()
+	if got := p.BBKS(0); got != 1 {
+		t.Errorf("BBKS(0) = %v, want 1", got)
+	}
+	if got := p.BBKS(1e-6); math.Abs(got-1) > 1e-3 {
+		t.Errorf("BBKS(k->0) = %v, want ~1", got)
+	}
+	// Transfer function decreases monotonically with k.
+	prev := p.BBKS(1e-4)
+	for k := 1e-3; k < 100; k *= 2 {
+		cur := p.BBKS(k)
+		if cur > prev {
+			t.Errorf("BBKS not decreasing at k=%g: %v > %v", k, cur, prev)
+		}
+		prev = cur
+	}
+	if p.BBKS(100) > 1e-3 {
+		t.Errorf("BBKS at high k too large: %v", p.BBKS(100))
+	}
+}
+
+func TestPowerSpectrumShape(t *testing.T) {
+	p := DefaultParams()
+	if p.Power(0) != 0 || p.Power(-1) != 0 {
+		t.Error("Power at k<=0 should be 0")
+	}
+	// P(k) rises at low k (primordial slope) and falls at high k.
+	if p.Power(0.01) >= p.Power(0.05) && p.Power(0.001) > p.Power(0.01) {
+		t.Error("power spectrum has no rising branch")
+	}
+	if p.Power(10) >= p.Power(0.1) {
+		t.Error("power spectrum does not fall at high k")
+	}
+}
+
+func TestGrowthFactor(t *testing.T) {
+	if GrowthFactor(1) != 1 {
+		t.Error("D(1) != 1")
+	}
+	if GrowthFactor(0.5) != 0.5 {
+		t.Error("matter-era growth should be proportional to a")
+	}
+}
+
+func TestGenerateDisplacementsBasic(t *testing.T) {
+	p := DefaultParams()
+	ng := 8
+	df, err := GenerateDisplacements(p, ng, float64(ng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(df.Psi) != ng*ng*ng {
+		t.Fatalf("len(Psi) = %d", len(df.Psi))
+	}
+	// RMS displacement should equal Sigma8Like * spacing (spacing = 1).
+	var sum2 float64
+	for _, v := range df.Psi {
+		if !v.IsFinite() {
+			t.Fatal("non-finite displacement")
+		}
+		sum2 += v.Norm2()
+	}
+	rms := math.Sqrt(sum2 / float64(len(df.Psi)))
+	if math.Abs(rms-p.Sigma8Like) > 1e-9 {
+		t.Errorf("rms displacement = %v, want %v", rms, p.Sigma8Like)
+	}
+	// Mean displacement is ~zero (k=0 mode removed).
+	var mean geom.Vec3
+	for _, v := range df.Psi {
+		mean = mean.Add(v)
+	}
+	mean = mean.Scale(1 / float64(len(df.Psi)))
+	if mean.MaxAbs() > 1e-10 {
+		t.Errorf("mean displacement = %v, want ~0", mean)
+	}
+}
+
+func TestGenerateDisplacementsDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a, err := GenerateDisplacements(p, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDisplacements(p, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Psi {
+		if a.Psi[i] != b.Psi[i] {
+			t.Fatal("same seed produced different fields")
+		}
+	}
+	p.Seed = 99
+	c, err := GenerateDisplacements(p, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Psi {
+		if a.Psi[i] != c.Psi[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestGenerateDisplacementsErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := GenerateDisplacements(p, 7, 7); err == nil {
+		t.Error("non-pow2 ng accepted")
+	}
+	if _, err := GenerateDisplacements(p, 8, -1); err == nil {
+		t.Error("negative box accepted")
+	}
+}
+
+func TestLatticePositions(t *testing.T) {
+	pts := LatticePositions(4, 8)
+	if len(pts) != 64 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	box := geom.NewBox(geom.V(0, 0, 0), geom.V(8, 8, 8))
+	for _, p := range pts {
+		if !box.ContainsOpen(p) {
+			t.Fatalf("lattice point %v outside open box", p)
+		}
+	}
+	// First point is at half spacing.
+	if pts[0] != geom.V(1, 1, 1) {
+		t.Errorf("pts[0] = %v, want (1,1,1)", pts[0])
+	}
+	// All distinct.
+	seen := map[geom.Vec3]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate lattice point %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestZeldovichIC(t *testing.T) {
+	p := DefaultParams()
+	pos, vel, err := ZeldovichIC(p, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 512 || len(vel) != 512 {
+		t.Fatalf("lengths %d, %d", len(pos), len(vel))
+	}
+	box := geom.NewBox(geom.V(0, 0, 0), geom.V(8, 8, 8))
+	lattice := LatticePositions(8, 8)
+	var maxDisp float64
+	for i := range pos {
+		if !box.Contains(pos[i]) || pos[i].X >= 8 || pos[i].Y >= 8 || pos[i].Z >= 8 {
+			t.Fatalf("position %v not wrapped into box", pos[i])
+		}
+		d := MinImage(lattice[i], pos[i], 8).Norm()
+		maxDisp = math.Max(maxDisp, d)
+	}
+	if maxDisp == 0 {
+		t.Error("no particle was displaced")
+	}
+	if maxDisp > 4 {
+		t.Errorf("implausibly large displacement %v", maxDisp)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cases := []struct {
+		in   geom.Vec3
+		want geom.Vec3
+	}{
+		{geom.V(0, 0, 0), geom.V(0, 0, 0)},
+		{geom.V(10, 3, 5), geom.V(0, 3, 5)},
+		{geom.V(-1, 11, 5), geom.V(9, 1, 5)},
+		{geom.V(25, -25, 5), geom.V(5, 5, 5)},
+	}
+	for _, c := range cases {
+		if got := Wrap(c.in, 10); got != c.want {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// The nasty case: a tiny negative value must wrap to [0, L), not L.
+	w := Wrap(geom.V(-1e-17, 0, 0), 10)
+	if w.X >= 10 || w.X < 0 {
+		t.Errorf("Wrap(-1e-17) = %v", w.X)
+	}
+}
+
+func TestWrapProperty(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 ||
+			math.IsNaN(y) || math.IsInf(y, 0) || math.Abs(y) > 1e12 ||
+			math.IsNaN(z) || math.IsInf(z, 0) || math.Abs(z) > 1e12 {
+			return true
+		}
+		w := Wrap(geom.V(x, y, z), 7)
+		return w.X >= 0 && w.X < 7 && w.Y >= 0 && w.Y < 7 && w.Z >= 0 && w.Z < 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(18))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	L := 10.0
+	a := geom.V(9.5, 5, 5)
+	b := geom.V(0.5, 5, 5)
+	d := MinImage(a, b, L)
+	if !d.Sub(geom.V(1, 0, 0)).IsFinite() || math.Abs(d.X-1) > 1e-12 || d.Y != 0 || d.Z != 0 {
+		t.Errorf("MinImage across boundary = %v, want (1,0,0)", d)
+	}
+	// Symmetry: MinImage(a,b) == -MinImage(b,a).
+	e := MinImage(b, a, L)
+	if d.Add(e).MaxAbs() > 1e-12 {
+		t.Errorf("MinImage not antisymmetric: %v vs %v", d, e)
+	}
+	// Magnitude never exceeds the half-diagonal.
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 500; i++ {
+		p := geom.V(rng.Float64()*L, rng.Float64()*L, rng.Float64()*L)
+		q := geom.V(rng.Float64()*L, rng.Float64()*L, rng.Float64()*L)
+		m := MinImage(p, q, L)
+		if math.Abs(m.X) > L/2 || math.Abs(m.Y) > L/2 || math.Abs(m.Z) > L/2 {
+			t.Fatalf("MinImage component exceeds L/2: %v", m)
+		}
+		// Consistency: p + m == q (mod L).
+		r := Wrap(p.Add(m), L)
+		diff := MinImage(r, q, L).Norm()
+		if diff > 1e-9 {
+			t.Fatalf("p+m != q mod L (diff %v)", diff)
+		}
+	}
+}
+
+func TestDensityContrast(t *testing.T) {
+	d := DensityContrast([]float64{1, 2, 3})
+	want := []float64{-0.5, 0, 0.5}
+	for i := range d {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Errorf("delta[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	if DensityContrast(nil) != nil {
+		t.Error("empty input should yield nil")
+	}
+	if DensityContrast([]float64{0, 0}) != nil {
+		t.Error("zero-mean input should yield nil")
+	}
+	// Mean of delta is zero by construction.
+	rng := rand.New(rand.NewSource(20))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64() + 0.5
+	}
+	dl := DensityContrast(xs)
+	var sum float64
+	for _, v := range dl {
+		sum += v
+	}
+	if math.Abs(sum/float64(len(dl))) > 1e-12 {
+		t.Errorf("mean delta = %v, want 0", sum/float64(len(dl)))
+	}
+}
+
+func TestDisplacementFieldIsSmooth(t *testing.T) {
+	// Zel'dovich displacements from a red spectrum should be spatially
+	// correlated: neighboring lattice sites move coherently. Check that the
+	// mean difference between adjacent sites is well below 2x RMS.
+	p := DefaultParams()
+	ng := 16
+	df, err := GenerateDisplacements(p, ng, float64(ng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum2, diff2 float64
+	n := 0
+	for z := 0; z < ng; z++ {
+		for y := 0; y < ng; y++ {
+			for x := 0; x < ng; x++ {
+				i := (z*ng+y)*ng + x
+				j := (z*ng+y)*ng + (x+1)%ng
+				sum2 += df.Psi[i].Norm2()
+				diff2 += df.Psi[i].Sub(df.Psi[j]).Norm2()
+				n++
+			}
+		}
+	}
+	rms := math.Sqrt(sum2 / float64(n))
+	diffRMS := math.Sqrt(diff2 / float64(n))
+	if diffRMS >= rms*math.Sqrt2 {
+		t.Errorf("field looks uncorrelated: diffRMS %v vs rms %v", diffRMS, rms)
+	}
+}

@@ -1,0 +1,149 @@
+// Package cosmotools is the in situ analysis framework of the paper's
+// Figure 4: a suite of level-1 analysis tools (Voronoi tessellation, halo
+// finding, multistream classification, feature tracking, power spectra)
+// run at selected time steps of the simulation under a common interface.
+// Tools are enabled and parameterized through a configuration deck, their
+// execution frequency is configurable, and results go to parallel storage
+// for postprocessing or to a live endpoint (internal/catalyst) for
+// run-time inspection.
+package cosmotools
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config is a parsed cosmology-tools configuration deck: a sequence of
+// analysis sections with key = value parameters, e.g.
+//
+//	# analyses run in situ
+//	[tess]
+//	every = 10
+//	ghost = 4
+//
+//	[halo]
+//	every = 20
+//	linking_length = 0.2
+type Config struct {
+	// Sections preserves deck order; duplicate section names are an error.
+	Sections []Section
+}
+
+// Section is one analysis block of the deck.
+type Section struct {
+	Name   string
+	Params map[string]string
+}
+
+// ParseConfig reads a configuration deck. Blank lines and #-comments are
+// ignored; keys are lowercase identifiers.
+func ParseConfig(r io.Reader) (*Config, error) {
+	cfg := &Config{}
+	seen := map[string]bool{}
+	var cur *Section
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("cosmotools: line %d: malformed section %q", lineNo, line)
+			}
+			name := strings.TrimSpace(line[1 : len(line)-1])
+			if name == "" {
+				return nil, fmt.Errorf("cosmotools: line %d: empty section name", lineNo)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("cosmotools: line %d: duplicate section %q", lineNo, name)
+			}
+			seen[name] = true
+			cfg.Sections = append(cfg.Sections, Section{Name: name, Params: map[string]string{}})
+			cur = &cfg.Sections[len(cfg.Sections)-1]
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("cosmotools: line %d: expected key = value, got %q", lineNo, line)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("cosmotools: line %d: key outside any [section]", lineNo)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if key == "" {
+			return nil, fmt.Errorf("cosmotools: line %d: empty key", lineNo)
+		}
+		if _, dup := cur.Params[key]; dup {
+			return nil, fmt.Errorf("cosmotools: line %d: duplicate key %q in [%s]", lineNo, key, cur.Name)
+		}
+		cur.Params[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Float returns the named parameter as a float, or def when absent.
+func (s *Section) Float(key string, def float64) (float64, error) {
+	v, ok := s.Params[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cosmotools: [%s] %s: %v", s.Name, key, err)
+	}
+	return f, nil
+}
+
+// Int returns the named parameter as an int, or def when absent.
+func (s *Section) Int(key string, def int) (int, error) {
+	v, ok := s.Params[key]
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("cosmotools: [%s] %s: %v", s.Name, key, err)
+	}
+	return i, nil
+}
+
+// Bool returns the named parameter as a bool, or def when absent.
+func (s *Section) Bool(key string, def bool) (bool, error) {
+	v, ok := s.Params[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("cosmotools: [%s] %s: %v", s.Name, key, err)
+	}
+	return b, nil
+}
+
+// UnknownKeys returns parameters not in the allowed set — analyses use it
+// to reject typos in decks.
+func (s *Section) UnknownKeys(allowed ...string) []string {
+	ok := map[string]bool{}
+	for _, k := range allowed {
+		ok[k] = true
+	}
+	var bad []string
+	for k := range s.Params {
+		if !ok[k] {
+			bad = append(bad, k)
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}

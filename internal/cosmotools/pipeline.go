@@ -1,0 +1,202 @@
+package cosmotools
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/nbody"
+	"repro/internal/track"
+)
+
+// Context is what the framework hands each analysis invocation.
+type Context struct {
+	// Sim is the live simulation (read-only by convention: analyses must
+	// not mutate particle state).
+	Sim *nbody.Simulation
+	// Step is the simulation step the analysis runs after.
+	Step int
+	// OutputDir receives analysis files ("" disables file output).
+	OutputDir string
+}
+
+// Result is one analysis invocation's summary.
+type Result struct {
+	Analysis string
+	Step     int
+	Summary  string
+	Metrics  map[string]float64
+	Elapsed  time.Duration
+}
+
+// Analysis is a level-1 in situ analysis tool.
+type Analysis interface {
+	// Name identifies the tool (the deck section name).
+	Name() string
+	// Every is the execution period in steps (always run on the final
+	// step as well).
+	Every() int
+	// Run executes the analysis on the current simulation state.
+	Run(ctx *Context) (Result, error)
+}
+
+// builder constructs an analysis from its deck section, given the
+// simulation configuration (for box size and particle counts).
+type builder func(s *Section, simCfg nbody.Config) (Analysis, error)
+
+var registry = map[string]builder{
+	"correlation": newCorrelationAnalysis,
+	"tess":        newTessAnalysis,
+	"halo":        newHaloAnalysis,
+	"multistream": newMultistreamAnalysis,
+	"powerspec":   newPowerSpectrumAnalysis,
+	"voids":       newVoidsAnalysis,
+}
+
+// KnownAnalyses lists the registered analysis names.
+func KnownAnalyses() []string {
+	var out []string
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pipeline drives a set of analyses over a simulation run, mirroring the
+// paper's Figure 4: the simulation invokes the framework each step, and
+// each enabled tool runs at its configured frequency.
+type Pipeline struct {
+	Analyses  []Analysis
+	OutputDir string
+	// Results accumulates every invocation in execution order.
+	Results []Result
+
+	steps int
+	err   error
+}
+
+// NewPipeline builds the analyses named in the deck.
+func NewPipeline(cfg *Config, simCfg nbody.Config, outputDir string) (*Pipeline, error) {
+	p := &Pipeline{OutputDir: outputDir}
+	for i := range cfg.Sections {
+		s := &cfg.Sections[i]
+		build, ok := registry[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("cosmotools: unknown analysis %q (known: %v)", s.Name, KnownAnalyses())
+		}
+		a, err := build(s, simCfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Analyses = append(p.Analyses, a)
+	}
+	if len(p.Analyses) == 0 {
+		return nil, fmt.Errorf("cosmotools: configuration enables no analyses")
+	}
+	return p, nil
+}
+
+// Hook returns the per-step callback to pass to Simulation.Run; totalSteps
+// lets the hook force a final-step invocation of every tool.
+func (p *Pipeline) Hook(totalSteps int) func(*nbody.Simulation) {
+	p.steps = totalSteps
+	return func(sim *nbody.Simulation) {
+		if p.err != nil {
+			return
+		}
+		for _, a := range p.Analyses {
+			due := a.Every() > 0 && sim.Step%a.Every() == 0
+			last := sim.Step == totalSteps
+			if !due && !last {
+				continue
+			}
+			ctx := &Context{Sim: sim, Step: sim.Step, OutputDir: p.OutputDir}
+			t0 := time.Now()
+			res, err := a.Run(ctx)
+			if err != nil {
+				p.err = fmt.Errorf("cosmotools: %s at step %d: %w", a.Name(), sim.Step, err)
+				return
+			}
+			res.Analysis = a.Name()
+			res.Step = sim.Step
+			res.Elapsed = time.Since(t0)
+			p.Results = append(p.Results, res)
+		}
+	}
+}
+
+// Err returns the first analysis error, if any.
+func (p *Pipeline) Err() error { return p.err }
+
+// ResultsFor returns the invocations of one analysis in step order.
+func (p *Pipeline) ResultsFor(name string) []Result {
+	var out []Result
+	for _, r := range p.Results {
+		if r.Analysis == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes a fresh simulation with the pipeline attached.
+func (p *Pipeline) Run(simCfg nbody.Config, steps int) error {
+	sim, err := nbody.New(simCfg)
+	if err != nil {
+		return err
+	}
+	sim.Run(steps, p.Hook(steps))
+	return p.err
+}
+
+// HaloTree builds the merger tree over the halos accumulated by the
+// pipeline's halo analysis (Fig. 4 lists "merger trees" among the level-1
+// tools): halos are matched across snapshots by particle membership, so
+// Merge events are halo mergers and Birth events are newly collapsed
+// halos. minOverlapFrac is passed to track.Build.
+func (p *Pipeline) HaloTree(minOverlapFrac float64) (*track.Tree, error) {
+	for _, a := range p.Analyses {
+		ha, ok := a.(*haloAnalysis)
+		if !ok {
+			continue
+		}
+		snaps := make([]track.Snapshot, len(ha.snapshots))
+		for i, s := range ha.snapshots {
+			feats := make([]track.Feature, len(s.halos))
+			for j, h := range s.halos {
+				ids := make([]int64, len(h.Members))
+				for k, m := range h.Members {
+					ids[k] = int64(m)
+				}
+				feats[j] = track.Feature{IDs: ids, Weight: float64(h.Mass())}
+			}
+			snaps[i] = track.Snapshot{Step: s.step, Features: feats}
+		}
+		return track.Build(snaps, minOverlapFrac)
+	}
+	return nil, fmt.Errorf("cosmotools: pipeline has no halo analysis")
+}
+
+// VoidTree builds the feature tree (internal/track) over the void
+// components accumulated by the pipeline's voids analysis — the temporal
+// evolution study of the paper's Sec. V. minOverlapFrac is passed to
+// track.Build.
+func (p *Pipeline) VoidTree(minOverlapFrac float64) (*track.Tree, error) {
+	for _, a := range p.Analyses {
+		va, ok := a.(*voidsAnalysis)
+		if !ok {
+			continue
+		}
+		snaps := make([]track.Snapshot, len(va.snapshots))
+		for i, s := range va.snapshots {
+			feats := make([]track.Feature, len(s.comps))
+			for j, c := range s.comps {
+				feats[j] = track.Feature{IDs: c.CellIDs, Weight: c.Functionals.Volume}
+			}
+			snaps[i] = track.Snapshot{Step: s.step, Features: feats}
+		}
+		return track.Build(snaps, minOverlapFrac)
+	}
+	return nil, fmt.Errorf("cosmotools: pipeline has no voids analysis")
+}

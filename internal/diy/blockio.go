@@ -1,0 +1,207 @@
+package diy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/comm"
+)
+
+// Block I/O: all ranks write their serialized block into a single shared
+// file, each at its own offset, followed by a footer index (offset and size
+// per block) and a fixed-size trailer locating the footer. This mirrors
+// DIY's single-file collective output that tess uses for its analysis
+// results.
+//
+// File layout:
+//
+//	[block 0 bytes][block 1 bytes]...[block P-1 bytes]
+//	[footer: P x (offset uint64, size uint64)]
+//	[trailer: footerOffset uint64, numBlocks uint64, magic uint64]
+
+const blockIOMagic = 0x7465737342494f31 // "tessBIO1"
+
+const (
+	tagIOSize = 200
+)
+
+// CollectiveWrite writes each rank's payload into path. All ranks must call
+// it collectively; every rank writes its own section concurrently (the
+// stand-in for MPI-IO collective writes). It returns the total file size in
+// bytes on rank 0 and 0 elsewhere.
+func CollectiveWrite(w *comm.World, rank int, path string, payload []byte) (int64, error) {
+	sizes := comm.Allgather(w, rank, int64(len(payload)))
+	offsets := make([]int64, len(sizes))
+	var total int64
+	for i, s := range sizes {
+		offsets[i] = total
+		total += s
+	}
+
+	// Rank 0 creates and sizes the file; everyone else waits.
+	if rank == 0 {
+		f, err := os.Create(path)
+		if err != nil {
+			// Propagate the failure to all ranks via the barrier value.
+			comm.Allgather(w, rank, false)
+			return 0, fmt.Errorf("diy: create %s: %w", path, err)
+		}
+		if err := f.Truncate(total); err != nil {
+			f.Close()
+			comm.Allgather(w, rank, false)
+			return 0, fmt.Errorf("diy: truncate %s: %w", path, err)
+		}
+		f.Close()
+		comm.Allgather(w, rank, true)
+	} else {
+		oks := comm.Allgather(w, rank, true)
+		if !oks[0] {
+			return 0, fmt.Errorf("diy: rank 0 failed to create %s", path)
+		}
+	}
+
+	// Concurrent positioned writes.
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		comm.Allgather(w, rank, false)
+		return 0, fmt.Errorf("diy: open %s: %w", path, err)
+	}
+	writeErr := error(nil)
+	if len(payload) > 0 {
+		if _, err := f.WriteAt(payload, offsets[rank]); err != nil {
+			writeErr = err
+		}
+	}
+	f.Close()
+	oks := comm.Allgather(w, rank, writeErr == nil)
+	for r, ok := range oks {
+		if !ok {
+			if writeErr != nil {
+				return 0, fmt.Errorf("diy: write %s: %w", path, writeErr)
+			}
+			return 0, fmt.Errorf("diy: rank %d failed writing %s", r, path)
+		}
+	}
+
+	// Rank 0 appends the footer.
+	if rank != 0 {
+		return 0, nil
+	}
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return 0, fmt.Errorf("diy: footer open %s: %w", path, err)
+	}
+	defer f.Close()
+	for i := range sizes {
+		if err := binary.Write(f, binary.LittleEndian, uint64(offsets[i])); err != nil {
+			return 0, err
+		}
+		if err := binary.Write(f, binary.LittleEndian, uint64(sizes[i])); err != nil {
+			return 0, err
+		}
+	}
+	trailer := []uint64{uint64(total), uint64(len(sizes)), blockIOMagic}
+	for _, v := range trailer {
+		if err := binary.Write(f, binary.LittleEndian, v); err != nil {
+			return 0, err
+		}
+	}
+	return total + int64(16*len(sizes)) + 24, nil
+}
+
+// BlockIndex describes the sections of a block file.
+type BlockIndex struct {
+	Offsets []int64
+	Sizes   []int64
+}
+
+// ReadIndex reads the footer index of a block file.
+func ReadIndex(path string) (*BlockIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < 24 {
+		return nil, fmt.Errorf("diy: %s too small for a block file", path)
+	}
+	var trailer [3]uint64
+	if _, err := f.Seek(st.Size()-24, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(f, binary.LittleEndian, &trailer); err != nil {
+		return nil, err
+	}
+	if trailer[2] != blockIOMagic {
+		return nil, fmt.Errorf("diy: %s is not a block file (bad magic)", path)
+	}
+	footerOff := int64(trailer[0])
+	n := int(trailer[1])
+	if footerOff < 0 || footerOff+int64(16*n)+24 != st.Size() {
+		return nil, fmt.Errorf("diy: %s has inconsistent footer", path)
+	}
+	idx := &BlockIndex{Offsets: make([]int64, n), Sizes: make([]int64, n)}
+	if _, err := f.Seek(footerOff, io.SeekStart); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var off, size uint64
+		if err := binary.Read(f, binary.LittleEndian, &off); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(f, binary.LittleEndian, &size); err != nil {
+			return nil, err
+		}
+		idx.Offsets[i] = int64(off)
+		idx.Sizes[i] = int64(size)
+	}
+	return idx, nil
+}
+
+// ReadBlock reads block i from a block file.
+func ReadBlock(path string, i int) ([]byte, error) {
+	idx, err := ReadIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(idx.Offsets) {
+		return nil, fmt.Errorf("diy: block %d out of range [0, %d)", i, len(idx.Offsets))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, idx.Sizes[i])
+	if _, err := f.ReadAt(buf, idx.Offsets[i]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadAllBlocks reads every block section of a block file.
+func ReadAllBlocks(path string) ([][]byte, error) {
+	idx, err := ReadIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make([][]byte, len(idx.Offsets))
+	for i := range out {
+		out[i] = make([]byte, idx.Sizes[i])
+		if _, err := f.ReadAt(out[i], idx.Offsets[i]); err != nil && !(err == io.EOF && idx.Sizes[i] == 0) {
+			return nil, err
+		}
+	}
+	return out, nil
+}

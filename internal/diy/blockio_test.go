@@ -1,0 +1,149 @@
+package diy
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func writeBlocks(t *testing.T, path string, payloads [][]byte) int64 {
+	t.Helper()
+	w := comm.NewWorld(len(payloads))
+	var total int64
+	w.Run(func(rank int) {
+		n, err := CollectiveWrite(w, rank, path, payloads[rank])
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+		if rank == 0 {
+			total = n
+		}
+	})
+	return total
+}
+
+func TestCollectiveWriteRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blocks.tess")
+	rng := rand.New(rand.NewSource(31))
+	payloads := make([][]byte, 6)
+	for i := range payloads {
+		payloads[i] = make([]byte, rng.Intn(2000)+1)
+		rng.Read(payloads[i])
+	}
+	total := writeBlocks(t, path, payloads)
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != total {
+		t.Errorf("reported size %d, actual %d", total, st.Size())
+	}
+
+	idx, err := ReadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Offsets) != 6 {
+		t.Fatalf("index has %d blocks", len(idx.Offsets))
+	}
+	for i, p := range payloads {
+		got, err := ReadBlock(path, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("block %d round trip mismatch (%d vs %d bytes)", i, len(got), len(p))
+		}
+	}
+	all, err := ReadAllBlocks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if !bytes.Equal(all[i], payloads[i]) {
+			t.Fatalf("ReadAllBlocks mismatch at %d", i)
+		}
+	}
+}
+
+func TestCollectiveWriteEmptyBlocks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.tess")
+	payloads := [][]byte{[]byte("abc"), nil, []byte("z")}
+	writeBlocks(t, path, payloads)
+	got, err := ReadAllBlocks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "abc" || len(got[1]) != 0 || string(got[2]) != "z" {
+		t.Errorf("blocks = %q", got)
+	}
+}
+
+func TestCollectiveWriteSingleRank(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "one.tess")
+	writeBlocks(t, path, [][]byte{[]byte("solo block")})
+	got, err := ReadBlock(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "solo block" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestReadBlockOutOfRange(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.tess")
+	writeBlocks(t, path, [][]byte{[]byte("x")})
+	if _, err := ReadBlock(path, 5); err == nil {
+		t.Error("out-of-range block read succeeded")
+	}
+	if _, err := ReadBlock(path, -1); err == nil {
+		t.Error("negative block read succeeded")
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0xAB}, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+	small := filepath.Join(dir, "small")
+	if err := os.WriteFile(small, []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(small); err == nil {
+		t.Error("tiny file accepted")
+	}
+	if _, err := ReadIndex(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCollectiveWriteCreateFailure(t *testing.T) {
+	// Writing into a nonexistent directory fails on rank 0 and must
+	// propagate an error to all ranks without deadlock.
+	path := filepath.Join(string(os.PathSeparator), "no", "such", "dir", "f.tess")
+	w := comm.NewWorld(4)
+	errs := make([]error, 4)
+	w.Run(func(rank int) {
+		_, errs[rank] = CollectiveWrite(w, rank, path, []byte("x"))
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Errorf("rank %d got nil error", r)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package diy
+
+import (
+	"repro/internal/comm"
+	"repro/internal/geom"
+)
+
+// Particle is a point with a stable global identity. Ghost copies received
+// from other blocks keep the original ID, which is how tess resolves
+// duplicated cells back to unique owners.
+type Particle struct {
+	ID  int64
+	Pos geom.Vec3
+}
+
+const tagExchange = 100
+
+// ExchangeGhost performs the bidirectional neighborhood particle exchange of
+// the paper's Sec. III-C1 for one rank: every particle within ghost distance
+// of a neighbor's region is sent to that neighbor (and only to neighbors
+// near enough to need it — the "targeted" part), with coordinates
+// transformed across periodic boundaries. It returns the ghost particles
+// received from all neighbors, with positions already expressed in this
+// block's frame.
+//
+// All ranks of the world must call ExchangeGhost collectively. The received
+// ghosts do not include this block's own particles unless the decomposition
+// is thin enough that the block is its own periodic neighbor, in which case
+// the self-images arrive shifted by the domain period (as required for a
+// correct periodic tessellation).
+func ExchangeGhost(w *comm.World, d *Decomposition, rank int, local []Particle, ghost float64) []Particle {
+	neighbors := d.Neighbors(rank)
+
+	// Bucket outgoing particles per link. A particle goes to a link when
+	// the neighbor's ghost-expanded bounds contain its shifted position.
+	outgoing := make([][]Particle, len(neighbors))
+	for li, nb := range neighbors {
+		target := d.Block(nb.Rank).Bounds.Expand(ghost)
+		var batch []Particle
+		for _, p := range local {
+			q := p.Pos.Add(nb.Shift)
+			if target.Contains(q) {
+				batch = append(batch, Particle{ID: p.ID, Pos: q})
+			}
+		}
+		outgoing[li] = batch
+	}
+
+	// Coalesce links that point at the same rank into one message per
+	// destination rank (message count is what the exchange cost tracks).
+	perRank := make(map[int][]Particle)
+	for li, nb := range neighbors {
+		if _, ok := perRank[nb.Rank]; !ok {
+			perRank[nb.Rank] = nil
+		}
+		perRank[nb.Rank] = append(perRank[nb.Rank], outgoing[li]...)
+	}
+
+	// Post all sends, then receive one message from every rank we are
+	// linked to. Buffered channels in comm make this deadlock-free.
+	for dst := range perRank {
+		w.Send(rank, dst, tagExchange, perRank[dst])
+	}
+	var ghosts []Particle
+	for src := range perRank {
+		batch := w.Recv(rank, src, tagExchange).([]Particle)
+		ghosts = append(ghosts, batch...)
+	}
+	return ghosts
+}
+
+// PartitionParticles assigns each particle to the rank whose block contains
+// it, returning one slice per rank. Positions must lie within the domain.
+func PartitionParticles(d *Decomposition, particles []Particle) [][]Particle {
+	out := make([][]Particle, d.NumBlocks())
+	for _, p := range particles {
+		r := d.Locate(p.Pos)
+		out[r] = append(out[r], p)
+	}
+	return out
+}
+
+// GatherGhosts computes the same ghost set ExchangeGhost would deliver to
+// rank, directly from the globally partitioned particle arrays and without
+// a communicator. It exists for the sequential timing harness (which runs
+// ranks one at a time to measure per-rank phase costs on a machine with
+// fewer cores than ranks) and is verified against ExchangeGhost by tests.
+//
+// parts must be the per-rank particle partition (as from
+// PartitionParticles).
+func GatherGhosts(d *Decomposition, rank int, parts [][]Particle, ghost float64) []Particle {
+	target := d.Block(rank).Bounds.Expand(ghost)
+	var ghosts []Particle
+	for _, link := range d.Neighbors(rank) {
+		// The reverse of link (from link.Rank back to rank) carries the
+		// negated shift.
+		shift := link.Shift.Neg()
+		for _, p := range parts[link.Rank] {
+			q := p.Pos.Add(shift)
+			if target.Contains(q) {
+				ghosts = append(ghosts, Particle{ID: p.ID, Pos: q})
+			}
+		}
+	}
+	return ghosts
+}
+
+// BroadcastExchange is the non-targeted baseline used by the ablation
+// benchmark: every particle within ghost distance of *any* block face is
+// sent to *all* neighbors, instead of only the ones whose region needs it.
+// Results are identical after the receiver filters, but message volume is
+// larger.
+func BroadcastExchange(w *comm.World, d *Decomposition, rank int, local []Particle, ghost float64) []Particle {
+	neighbors := d.Neighbors(rank)
+	myBounds := d.Block(rank).Bounds
+
+	// Candidate set: particles near this block's own boundary.
+	var boundary []Particle
+	for _, p := range local {
+		if myBounds.InteriorDist(p.Pos) <= ghost {
+			boundary = append(boundary, p)
+		}
+	}
+
+	perRank := make(map[int][]Particle)
+	for _, nb := range neighbors {
+		shifted := make([]Particle, len(boundary))
+		for i, p := range boundary {
+			shifted[i] = Particle{ID: p.ID, Pos: p.Pos.Add(nb.Shift)}
+		}
+		perRank[nb.Rank] = append(perRank[nb.Rank], shifted...)
+	}
+	for dst := range perRank {
+		w.Send(rank, dst, tagExchange, perRank[dst])
+	}
+	var ghosts []Particle
+	mine := myBounds.Expand(ghost)
+	for src := range perRank {
+		batch := w.Recv(rank, src, tagExchange).([]Particle)
+		for _, p := range batch {
+			if mine.Contains(p.Pos) {
+				ghosts = append(ghosts, p)
+			}
+		}
+	}
+	return ghosts
+}
+
+const tagRedistribute = 101
+
+// Redistribute moves particles that have drifted out of their block to the
+// block that now contains them — the step an in situ pipeline performs
+// between simulation epochs so each rank again owns exactly the particles
+// in its bounds. Positions must lie inside the domain (wrap before
+// calling). All ranks call collectively; the returned slice is the rank's
+// new local set (order not specified).
+func Redistribute(w *comm.World, d *Decomposition, rank int, local []Particle) []Particle {
+	outgoing := map[int][]Particle{}
+	var keep []Particle
+	for _, p := range local {
+		owner := d.Locate(p.Pos)
+		if owner == rank {
+			keep = append(keep, p)
+		} else {
+			outgoing[owner] = append(outgoing[owner], p)
+		}
+	}
+	// Every rank exchanges with every other rank (counts first would be an
+	// optimization; at these scales a direct all-to-all of possibly empty
+	// slices is simplest and still one message per pair).
+	for dst := 0; dst < d.NumBlocks(); dst++ {
+		if dst == rank {
+			continue
+		}
+		w.Send(rank, dst, tagRedistribute, outgoing[dst])
+	}
+	for src := 0; src < d.NumBlocks(); src++ {
+		if src == rank {
+			continue
+		}
+		batch := w.Recv(rank, src, tagRedistribute).([]Particle)
+		keep = append(keep, batch...)
+	}
+	return keep
+}

@@ -1,0 +1,334 @@
+package diy
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/geom"
+)
+
+func randomParticles(rng *rand.Rand, n int, L float64) []Particle {
+	ps := make([]Particle, n)
+	for i := range ps {
+		ps[i] = Particle{
+			ID:  int64(i),
+			Pos: geom.V(rng.Float64()*L, rng.Float64()*L, rng.Float64()*L),
+		}
+	}
+	return ps
+}
+
+func TestPartitionParticles(t *testing.T) {
+	d, err := Decompose(unitDomain(10), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(26))
+	ps := randomParticles(rng, 1000, 10)
+	parts := PartitionParticles(d, ps)
+	total := 0
+	for r, part := range parts {
+		total += len(part)
+		for _, p := range part {
+			if !d.Block(r).Bounds.Contains(p.Pos) {
+				t.Fatalf("particle %v assigned to wrong block %d", p.Pos, r)
+			}
+		}
+	}
+	if total != 1000 {
+		t.Errorf("partition lost particles: %d", total)
+	}
+}
+
+// runExchange partitions particles, runs the collective exchange on all
+// ranks, and returns per-rank ghosts.
+func runExchange(t *testing.T, d *Decomposition, ps []Particle, ghost float64,
+	fn func(*comm.World, *Decomposition, int, []Particle, float64) []Particle) [][]Particle {
+	t.Helper()
+	parts := PartitionParticles(d, ps)
+	w := comm.NewWorld(d.NumBlocks())
+	ghosts := make([][]Particle, d.NumBlocks())
+	var mu sync.Mutex
+	w.Run(func(rank int) {
+		g := fn(w, d, rank, parts[rank], ghost)
+		mu.Lock()
+		ghosts[rank] = g
+		mu.Unlock()
+	})
+	return ghosts
+}
+
+func TestExchangeGhostCoverage(t *testing.T) {
+	// Every rank must receive exactly the particles (or periodic images)
+	// that fall inside its ghost-expanded bounds, minus its own originals.
+	const L = 10.0
+	const ghost = 1.5
+	d, err := Decompose(unitDomain(L), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(27))
+	ps := randomParticles(rng, 800, L)
+	parts := PartitionParticles(d, ps)
+	ghosts := runExchange(t, d, ps, ghost, ExchangeGhost)
+
+	for r := 0; r < d.NumBlocks(); r++ {
+		expanded := d.Block(r).Bounds.Expand(ghost)
+		local := map[int64]bool{}
+		for _, p := range parts[r] {
+			local[p.ID] = true
+		}
+		// Expected ghost images: for every particle and every image shift
+		// in {-L,0,L}^3, the image is expected if it falls in the expanded
+		// bounds and is not the particle's own unshifted copy in this block.
+		type key struct {
+			id      int64
+			x, y, z float64
+		}
+		expect := map[key]bool{}
+		for _, p := range ps {
+			for _, sx := range []float64{-L, 0, L} {
+				for _, sy := range []float64{-L, 0, L} {
+					for _, sz := range []float64{-L, 0, L} {
+						img := p.Pos.Add(geom.V(sx, sy, sz))
+						if !expanded.Contains(img) {
+							continue
+						}
+						if sx == 0 && sy == 0 && sz == 0 && local[p.ID] {
+							continue // original, not a ghost
+						}
+						expect[key{p.ID, img.X, img.Y, img.Z}] = true
+					}
+				}
+			}
+		}
+		got := map[key]bool{}
+		for _, g := range ghosts[r] {
+			k := key{g.ID, g.Pos.X, g.Pos.Y, g.Pos.Z}
+			if got[k] {
+				t.Fatalf("rank %d received duplicate ghost %+v", r, k)
+			}
+			got[k] = true
+		}
+		for k := range expect {
+			if !got[k] {
+				t.Fatalf("rank %d missing expected ghost %+v", r, k)
+			}
+		}
+		for k := range got {
+			if !expect[k] {
+				t.Fatalf("rank %d received unexpected ghost %+v", r, k)
+			}
+		}
+	}
+}
+
+func TestExchangeGhostSmallGhostSendsLess(t *testing.T) {
+	const L = 10.0
+	d, err := Decompose(unitDomain(L), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(28))
+	ps := randomParticles(rng, 500, L)
+	small := runExchange(t, d, ps, 0.5, ExchangeGhost)
+	large := runExchange(t, d, ps, 2.0, ExchangeGhost)
+	for r := range small {
+		if len(small[r]) > len(large[r]) {
+			t.Fatalf("rank %d: smaller ghost received more particles (%d > %d)",
+				r, len(small[r]), len(large[r]))
+		}
+	}
+}
+
+func TestExchangeGhostZero(t *testing.T) {
+	// Ghost size zero exchanges (essentially) nothing: only particles
+	// exactly on block faces would qualify, and random particles are not.
+	const L = 10.0
+	d, err := Decompose(unitDomain(L), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	ps := randomParticles(rng, 500, L)
+	ghosts := runExchange(t, d, ps, 0, ExchangeGhost)
+	for r, g := range ghosts {
+		if len(g) != 0 {
+			t.Errorf("rank %d received %d ghosts with zero ghost size", r, len(g))
+		}
+	}
+}
+
+func TestBroadcastExchangeMatchesTargeted(t *testing.T) {
+	// The broadcast baseline must deliver the same ghost sets as the
+	// targeted exchange (it is only allowed to cost more traffic).
+	const L = 12.0
+	const ghost = 1.0
+	d, err := Decompose(unitDomain(L), 27, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(30))
+	ps := randomParticles(rng, 600, L)
+	a := runExchange(t, d, ps, ghost, ExchangeGhost)
+	b := runExchange(t, d, ps, ghost, BroadcastExchange)
+	for r := range a {
+		ka := ghostKeys(a[r])
+		kb := ghostKeys(b[r])
+		if len(ka) != len(kb) {
+			t.Fatalf("rank %d: targeted %d ghosts, broadcast %d", r, len(ka), len(kb))
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("rank %d: ghost sets differ at %d: %v vs %v", r, i, ka[i], kb[i])
+			}
+		}
+	}
+}
+
+func ghostKeys(ps []Particle) []Particle {
+	out := append([]Particle(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		if out[i].Pos.X != out[j].Pos.X {
+			return out[i].Pos.X < out[j].Pos.X
+		}
+		if out[i].Pos.Y != out[j].Pos.Y {
+			return out[i].Pos.Y < out[j].Pos.Y
+		}
+		return out[i].Pos.Z < out[j].Pos.Z
+	})
+	return out
+}
+
+func TestExchangeSingleBlockPeriodicImages(t *testing.T) {
+	// With one block, the exchange must deliver the periodic self-images of
+	// boundary particles — this is what makes the P=1 tessellation periodic.
+	const L = 10.0
+	d, err := Decompose(unitDomain(L), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []Particle{
+		{ID: 0, Pos: geom.V(0.5, 5, 5)},   // near -x face
+		{ID: 1, Pos: geom.V(5, 5, 5)},     // center: no images
+		{ID: 2, Pos: geom.V(9.8, 9.9, 5)}, // near +x +y edge
+	}
+	ghosts := runExchange(t, d, ps, 1.0, ExchangeGhost)[0]
+	hasImage := func(id int64, at geom.Vec3) bool {
+		for _, g := range ghosts {
+			if g.ID == id && g.Pos.Dist(at) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasImage(0, geom.V(10.5, 5, 5)) {
+		t.Errorf("missing +x image of particle 0: %v", ghosts)
+	}
+	if !hasImage(2, geom.V(-0.2, -0.1, 5)) {
+		t.Errorf("missing corner image of particle 2: %v", ghosts)
+	}
+	for _, g := range ghosts {
+		if g.Pos.Dist(geom.V(5, 5, 5)) < 1 {
+			t.Errorf("center particle should have no images, found %v", g.Pos)
+		}
+	}
+}
+
+func TestGatherGhostsMatchesExchange(t *testing.T) {
+	const L = 10.0
+	for _, blocks := range []int{1, 2, 4, 8, 27} {
+		d, err := Decompose(unitDomain(L), blocks, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + blocks)))
+		ps := randomParticles(rng, 400, L)
+		parts := PartitionParticles(d, ps)
+		exchanged := runExchange(t, d, ps, 1.2, ExchangeGhost)
+		for r := 0; r < blocks; r++ {
+			direct := GatherGhosts(d, r, parts, 1.2)
+			ka := ghostKeys(exchanged[r])
+			kb := ghostKeys(direct)
+			if len(ka) != len(kb) {
+				t.Fatalf("blocks=%d rank %d: exchange %d ghosts, gather %d",
+					blocks, r, len(ka), len(kb))
+			}
+			for i := range ka {
+				if ka[i].ID != kb[i].ID || ka[i].Pos.Dist(kb[i].Pos) > 1e-12 {
+					t.Fatalf("blocks=%d rank %d: ghost %d differs: %+v vs %+v",
+						blocks, r, i, ka[i], kb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRedistribute(t *testing.T) {
+	const L = 10.0
+	d, err := Decompose(unitDomain(L), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(131))
+	ps := randomParticles(rng, 600, L)
+	parts := PartitionParticles(d, ps)
+
+	// Scramble ownership: rotate each rank's particles to the next rank.
+	scrambled := make([][]Particle, len(parts))
+	for r := range parts {
+		scrambled[(r+3)%len(parts)] = append(scrambled[(r+3)%len(parts)], parts[r]...)
+	}
+
+	w := comm.NewWorld(d.NumBlocks())
+	result := make([][]Particle, d.NumBlocks())
+	var mu sync.Mutex
+	w.Run(func(rank int) {
+		out := Redistribute(w, d, rank, scrambled[rank])
+		mu.Lock()
+		result[rank] = out
+		mu.Unlock()
+	})
+
+	total := 0
+	for r, out := range result {
+		total += len(out)
+		for _, p := range out {
+			if !d.Block(r).Bounds.Contains(p.Pos) {
+				t.Fatalf("rank %d received particle %v outside its bounds", r, p.Pos)
+			}
+		}
+		// Same multiset as a fresh partition.
+		if len(out) != len(parts[r]) {
+			t.Fatalf("rank %d has %d particles, want %d", r, len(out), len(parts[r]))
+		}
+	}
+	if total != len(ps) {
+		t.Fatalf("redistribute lost particles: %d of %d", total, len(ps))
+	}
+}
+
+func TestRedistributeNoop(t *testing.T) {
+	const L = 8.0
+	d, err := Decompose(unitDomain(L), 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(132))
+	ps := randomParticles(rng, 200, L)
+	parts := PartitionParticles(d, ps)
+	w := comm.NewWorld(4)
+	w.Run(func(rank int) {
+		out := Redistribute(w, d, rank, parts[rank])
+		if len(out) != len(parts[rank]) {
+			t.Errorf("rank %d: noop redistribute changed count %d -> %d",
+				rank, len(parts[rank]), len(out))
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Package dtfe implements the Delaunay Tessellation Field Estimator
+// (Schaap & van de Weygaert), the density reconstruction that underlies the
+// void finders discussed in the paper's background (ZOBOV and the Watershed
+// Void Finder both start from a DTFE field). The estimate at each tracer
+// point is rho_i = (D+1) m_i / V(star_i), where V(star_i) is the volume of
+// the Delaunay tetrahedra incident to point i, and the field is linearly
+// interpolated inside each tetrahedron.
+package dtfe
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+)
+
+// Field is a DTFE density field over a tetrahedralized point set.
+type Field struct {
+	Tri *delaunay.Triangulation
+	// Density is the estimated density at each input point (zero for
+	// points that were merged away as duplicates).
+	Density []float64
+}
+
+// Estimate builds the DTFE field for the given points. masses may be nil
+// for unit-mass tracers; otherwise it must have one entry per point.
+func Estimate(pts []geom.Vec3, masses []float64) (*Field, error) {
+	if masses != nil && len(masses) != len(pts) {
+		return nil, fmt.Errorf("dtfe: %d points but %d masses", len(pts), len(masses))
+	}
+	tr, err := delaunay.Build(pts)
+	if err != nil {
+		return nil, err
+	}
+	stars := tr.VertexStars()
+	density := make([]float64, len(pts))
+	for vi, star := range stars {
+		var vol float64
+		for _, ti := range star {
+			vol += tr.TetVolume(ti)
+		}
+		if vol <= 0 {
+			continue
+		}
+		m := 1.0
+		if masses != nil {
+			m = masses[vi]
+		}
+		// (D+1) = 4 in three dimensions: each tet's volume is shared by
+		// its 4 vertices.
+		density[vi] = 4 * m / vol
+	}
+	return &Field{Tri: tr, Density: density}, nil
+}
+
+// ErrOutside is returned when a sample point lies outside the convex hull
+// of the tracers.
+var ErrOutside = errors.New("dtfe: point outside the triangulated region")
+
+// DensityAt linearly interpolates the density at p within its containing
+// tetrahedron.
+func (f *Field) DensityAt(p geom.Vec3) (float64, error) {
+	ti := f.Tri.Locate(p)
+	if ti < 0 {
+		return 0, ErrOutside
+	}
+	t := f.Tri.Tets[ti]
+	a := f.Tri.Points[t.V[0]]
+	b := f.Tri.Points[t.V[1]]
+	c := f.Tri.Points[t.V[2]]
+	d := f.Tri.Points[t.V[3]]
+	// Barycentric coordinates via sub-tetrahedron volumes.
+	vTot := geom.Orient3DVal(a, b, c, d)
+	if vTot == 0 {
+		return 0, fmt.Errorf("dtfe: degenerate containing tetrahedron")
+	}
+	w0 := geom.Orient3DVal(p, b, c, d) / vTot
+	w1 := geom.Orient3DVal(a, p, c, d) / vTot
+	w2 := geom.Orient3DVal(a, b, p, d) / vTot
+	w3 := geom.Orient3DVal(a, b, c, p) / vTot
+	return w0*f.Density[t.V[0]] + w1*f.Density[t.V[1]] +
+		w2*f.Density[t.V[2]] + w3*f.Density[t.V[3]], nil
+}
+
+// SampleGrid evaluates the field on an n^3 grid of cell centers spanning
+// box. Samples outside the convex hull are zero.
+func (f *Field) SampleGrid(n int, box geom.Box) []float64 {
+	out := make([]float64, n*n*n)
+	size := box.Size()
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				p := geom.Vec3{
+					X: box.Min.X + (float64(i)+0.5)*size.X/float64(n),
+					Y: box.Min.Y + (float64(j)+0.5)*size.Y/float64(n),
+					Z: box.Min.Z + (float64(k)+0.5)*size.Z/float64(n),
+				}
+				if d, err := f.DensityAt(p); err == nil {
+					out[(k*n+j)*n+i] = d
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package meshio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Binary block format (little-endian):
+//
+//	magic    uint64
+//	extents  6 x float64
+//	nVerts   uint64, then nVerts x 3 float64
+//	nCells   uint64
+//	particles nCells x 3 float64
+//	ids       nCells x int64
+//	volumes   nCells x float64
+//	areas     nCells x float64
+//	complete  nCells x byte
+//	per cell: nFaces uint32, per face: neighbor int64, nVerts uint32,
+//	          verts nVerts x uint32
+
+const meshMagic uint64 = 0x744d455348763101 // "tMESHv1" + 0x01
+
+type writer struct {
+	buf bytes.Buffer
+	err error
+}
+
+func (w *writer) u64(v uint64) { w.write(v) }
+func (w *writer) i64(v int64)  { w.write(v) }
+func (w *writer) u32(v uint32) { w.write(v) }
+func (w *writer) f64(v float64) {
+	w.write(math.Float64bits(v))
+}
+func (w *writer) vec(v geom.Vec3) { w.f64(v.X); w.f64(v.Y); w.f64(v.Z) }
+func (w *writer) b(v bool) {
+	var x byte
+	if v {
+		x = 1
+	}
+	w.write(x)
+}
+func (w *writer) write(v any) {
+	if w.err == nil {
+		w.err = binary.Write(&w.buf, binary.LittleEndian, v)
+	}
+}
+
+// Encode serializes the block mesh.
+func (m *BlockMesh) Encode() ([]byte, error) {
+	w := &writer{}
+	w.u64(meshMagic)
+	w.vec(m.Extents.Min)
+	w.vec(m.Extents.Max)
+	w.u64(uint64(len(m.Verts)))
+	for _, v := range m.Verts {
+		w.vec(v)
+	}
+	n := m.NumCells()
+	if len(m.ParticleIDs) != n || len(m.Volumes) != n || len(m.Areas) != n ||
+		len(m.Complete) != n || len(m.Cells) != n {
+		return nil, fmt.Errorf("meshio: inconsistent block arrays (cells=%d ids=%d vol=%d area=%d compl=%d conn=%d)",
+			n, len(m.ParticleIDs), len(m.Volumes), len(m.Areas), len(m.Complete), len(m.Cells))
+	}
+	w.u64(uint64(n))
+	for _, p := range m.Particles {
+		w.vec(p)
+	}
+	for _, id := range m.ParticleIDs {
+		w.i64(id)
+	}
+	for _, v := range m.Volumes {
+		w.f64(v)
+	}
+	for _, a := range m.Areas {
+		w.f64(a)
+	}
+	for _, c := range m.Complete {
+		w.b(c)
+	}
+	for _, c := range m.Cells {
+		w.u32(uint32(len(c.Faces)))
+		for _, f := range c.Faces {
+			w.i64(f.Neighbor)
+			w.u32(uint32(len(f.Verts)))
+			for _, vi := range f.Verts {
+				w.u32(uint32(vi))
+			}
+		}
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.buf.Bytes(), nil
+}
+
+type reader struct {
+	buf *bytes.Reader
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	var v uint64
+	r.read(&v)
+	return v
+}
+func (r *reader) i64() int64 {
+	var v int64
+	r.read(&v)
+	return v
+}
+func (r *reader) u32() uint32 {
+	var v uint32
+	r.read(&v)
+	return v
+}
+func (r *reader) f64() float64 {
+	var v uint64
+	r.read(&v)
+	return math.Float64frombits(v)
+}
+func (r *reader) vec() geom.Vec3 {
+	return geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()}
+}
+func (r *reader) b() bool {
+	var v byte
+	r.read(&v)
+	return v != 0
+}
+func (r *reader) read(v any) {
+	if r.err == nil {
+		r.err = binary.Read(r.buf, binary.LittleEndian, v)
+	}
+}
+
+// DecodeBlockMesh parses a block produced by Encode.
+func DecodeBlockMesh(data []byte) (*BlockMesh, error) {
+	r := &reader{buf: bytes.NewReader(data)}
+	if magic := r.u64(); magic != meshMagic {
+		return nil, fmt.Errorf("meshio: bad magic %#x", magic)
+	}
+	m := &BlockMesh{}
+	m.Extents.Min = r.vec()
+	m.Extents.Max = r.vec()
+	nv := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nv > uint64(len(data)) {
+		return nil, fmt.Errorf("meshio: implausible vertex count %d", nv)
+	}
+	m.Verts = make([]geom.Vec3, nv)
+	for i := range m.Verts {
+		m.Verts[i] = r.vec()
+	}
+	nc := r.u64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nc > uint64(len(data)) {
+		return nil, fmt.Errorf("meshio: implausible cell count %d", nc)
+	}
+	m.Particles = make([]geom.Vec3, nc)
+	for i := range m.Particles {
+		m.Particles[i] = r.vec()
+	}
+	m.ParticleIDs = make([]int64, nc)
+	for i := range m.ParticleIDs {
+		m.ParticleIDs[i] = r.i64()
+	}
+	m.Volumes = make([]float64, nc)
+	for i := range m.Volumes {
+		m.Volumes[i] = r.f64()
+	}
+	m.Areas = make([]float64, nc)
+	for i := range m.Areas {
+		m.Areas[i] = r.f64()
+	}
+	m.Complete = make([]bool, nc)
+	for i := range m.Complete {
+		m.Complete[i] = r.b()
+	}
+	m.Cells = make([]CellConn, nc)
+	for i := range m.Cells {
+		nf := r.u32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if uint64(nf) > uint64(len(data)) {
+			return nil, fmt.Errorf("meshio: implausible face count %d", nf)
+		}
+		faces := make([]FaceConn, nf)
+		for fi := range faces {
+			faces[fi].Neighbor = r.i64()
+			nfv := r.u32()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if uint64(nfv) > nv {
+				return nil, fmt.Errorf("meshio: face with %d vertices exceeds pool %d", nfv, nv)
+			}
+			vs := make([]int32, nfv)
+			for vi := range vs {
+				x := r.u32()
+				if uint64(x) >= nv {
+					return nil, fmt.Errorf("meshio: vertex index %d out of range", x)
+				}
+				vs[vi] = int32(x)
+			}
+			faces[fi].Verts = vs
+		}
+		m.Cells[i].Faces = faces
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.buf.Len() != 0 {
+		return nil, fmt.Errorf("meshio: %d trailing bytes", r.buf.Len())
+	}
+	return m, nil
+}

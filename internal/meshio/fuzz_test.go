@@ -1,0 +1,91 @@
+package meshio
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Decoder robustness: arbitrary corruption must produce errors, never
+// panics or runaway allocations. Go's fuzzing engine uses these seeds
+// during normal `go test` runs and explores further under `go test -fuzz`.
+
+func FuzzDecodeBlockMesh(f *testing.F) {
+	cells := buildTestCells(f, 3, 3, 124)
+	m := BuildBlockMesh(cells, geom.NewBox(geom.V(0, 0, 0), geom.V(3, 3, 3)), 0)
+	valid, err := m.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x31, 0x76, 0x48, 0x53, 0x45, 0x4d, 0x74}) // magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeBlockMesh(data)
+		if err == nil {
+			// Decoded meshes must be internally consistent.
+			n := m.NumCells()
+			if len(m.ParticleIDs) != n || len(m.Volumes) != n || len(m.Cells) != n {
+				t.Fatal("inconsistent decode accepted")
+			}
+			for _, c := range m.Cells {
+				for _, fc := range c.Faces {
+					for _, vi := range fc.Verts {
+						if int(vi) >= len(m.Verts) || vi < 0 {
+							t.Fatal("out-of-range vertex index accepted")
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+func FuzzDecodeAugmented(f *testing.F) {
+	valid, err := EncodeAugmented([]AugmentedParticle{
+		{ID: 1, Pos: geom.V(1, 2, 3), Volume: 0.5, Density: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeAugmented(data)
+		if err == nil && len(ps) > len(data)/56+1 {
+			t.Fatal("decoded more particles than the data can hold")
+		}
+	})
+}
+
+// TestDecodeRandomMutations complements fuzzing with deterministic
+// bit-flip coverage of a real encoded block.
+func TestDecodeRandomMutations(t *testing.T) {
+	cells := buildTestCells(t, 3, 3, 122)
+	m := BuildBlockMesh(cells, geom.NewBox(geom.V(0, 0, 0), geom.V(3, 3, 3)), 0)
+	valid, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 300; i++ {
+		data := append([]byte(nil), valid...)
+		// Flip 1-4 random bytes and/or truncate.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(3) == 0 {
+			data = data[:rng.Intn(len(data))]
+		}
+		// Must not panic; errors are fine, and occasional successful
+		// decodes (mutation in float payload) must stay consistent.
+		if m2, err := DecodeBlockMesh(data); err == nil {
+			if m2.NumCells() != len(m2.Cells) {
+				t.Fatal("inconsistent lucky decode")
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package meshio implements the analysis data model of the paper's
+// Sec. III-C2 and its storage: each block holds a conventional unstructured
+// mesh — vertices listed once, integer indices connecting vertices into
+// faces and cells — plus the original particle locations, per-cell volumes
+// and surface areas, and the block extents. Blocks serialize to a compact
+// binary form written collectively through internal/diy into a single file,
+// and can be exported as legacy-VTK polydata for visualization (the
+// stand-in for the paper's ParaView plugin rendering path).
+package meshio
+
+import (
+	"repro/internal/geom"
+	"repro/internal/voronoi"
+)
+
+// FaceConn is one polygonal face of a cell in index form.
+type FaceConn struct {
+	// Neighbor is the particle ID across the face (negative for walls of
+	// the computation box; see voronoi.Wall*).
+	Neighbor int64
+	// Verts are indices into BlockMesh.Verts, ordered counterclockwise
+	// viewed from outside the cell.
+	Verts []int32
+}
+
+// CellConn is the connectivity of one Voronoi cell.
+type CellConn struct {
+	Faces []FaceConn
+}
+
+// BlockMesh is the per-block analysis data model.
+type BlockMesh struct {
+	// Extents is the block's region of the global domain.
+	Extents geom.Box
+	// Verts is the shared vertex pool; vertices on faces between adjacent
+	// cells are stored once (the paper: each vertex is shared by ~5 cells).
+	Verts []geom.Vec3
+	// Particles are the cell sites (original particle positions).
+	Particles []geom.Vec3
+	// ParticleIDs are the global particle IDs, aligned with Particles.
+	ParticleIDs []int64
+	// Volumes and Areas are per-cell scalars, aligned with Particles.
+	Volumes []float64
+	Areas   []float64
+	// Complete flags cells proven correct by the ghost exchange.
+	Complete []bool
+	// Cells is per-cell face connectivity, aligned with Particles.
+	Cells []CellConn
+}
+
+// NumCells returns the number of cells in the block.
+func (m *BlockMesh) NumCells() int { return len(m.Particles) }
+
+// weld quantizes a coordinate for vertex dedup across cells in a block.
+type weldKey struct{ x, y, z int64 }
+
+// BuildBlockMesh assembles the data model from computed cells, welding
+// vertices shared between adjacent cells. weldTol is the absolute
+// coordinate quantum used for welding; pass 0 for a default of 1e-7 of the
+// extents' largest side.
+func BuildBlockMesh(cells []*voronoi.Cell, extents geom.Box, weldTol float64) *BlockMesh {
+	if weldTol <= 0 {
+		weldTol = 1e-7 * maxf(extents.Size().MaxAbs(), 1e-30)
+	}
+	m := &BlockMesh{Extents: extents}
+	pool := map[weldKey]int32{}
+	q := func(v geom.Vec3) weldKey {
+		return weldKey{
+			x: int64(roundHalf(v.X / weldTol)),
+			y: int64(roundHalf(v.Y / weldTol)),
+			z: int64(roundHalf(v.Z / weldTol)),
+		}
+	}
+	for _, c := range cells {
+		var conn CellConn
+		for _, f := range c.Faces {
+			fc := FaceConn{Neighbor: f.Neighbor, Verts: make([]int32, len(f.Loop))}
+			for i, vi := range f.Loop {
+				v := c.Verts[vi]
+				k := q(v)
+				gi, ok := pool[k]
+				if !ok {
+					gi = int32(len(m.Verts))
+					m.Verts = append(m.Verts, v)
+					pool[k] = gi
+				}
+				fc.Verts[i] = gi
+			}
+			conn.Faces = append(conn.Faces, fc)
+		}
+		m.Cells = append(m.Cells, conn)
+		m.Particles = append(m.Particles, c.Site)
+		m.ParticleIDs = append(m.ParticleIDs, c.SiteID)
+		m.Volumes = append(m.Volumes, c.Volume())
+		m.Areas = append(m.Areas, c.Area())
+		m.Complete = append(m.Complete, c.Complete)
+	}
+	return m
+}
+
+func roundHalf(x float64) float64 {
+	if x >= 0 {
+		return float64(int64(x + 0.5))
+	}
+	return float64(int64(x - 0.5))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats summarizes the data-model shape numbers the paper reports
+// (Sec. III-C2): faces per cell, vertices per face, vertex sharing, and the
+// byte split between floating-point geometry and integer connectivity.
+type Stats struct {
+	Cells             int
+	Faces             int
+	FaceVertRefs      int // total vertex references across all faces
+	UniqueVerts       int
+	FacesPerCell      float64
+	VertsPerFace      float64
+	VertSharing       float64 // references per unique vertex
+	GeometryBytes     int64
+	ConnectivityBytes int64
+	TotalBytes        int64
+	BytesPerParticle  float64
+}
+
+// ComputeStats returns the data-model statistics of the block.
+func (m *BlockMesh) ComputeStats() Stats {
+	var s Stats
+	s.Cells = m.NumCells()
+	for _, c := range m.Cells {
+		s.Faces += len(c.Faces)
+		for _, f := range c.Faces {
+			s.FaceVertRefs += len(f.Verts)
+		}
+	}
+	s.UniqueVerts = len(m.Verts)
+	if s.Cells > 0 {
+		s.FacesPerCell = float64(s.Faces) / float64(s.Cells)
+	}
+	if s.Faces > 0 {
+		s.VertsPerFace = float64(s.FaceVertRefs) / float64(s.Faces)
+	}
+	if s.UniqueVerts > 0 {
+		s.VertSharing = float64(s.FaceVertRefs) / float64(s.UniqueVerts)
+	}
+	s.GeometryBytes, s.ConnectivityBytes = m.byteSplit()
+	s.TotalBytes = s.GeometryBytes + s.ConnectivityBytes
+	if s.Cells > 0 {
+		s.BytesPerParticle = float64(s.TotalBytes) / float64(s.Cells)
+	}
+	return s
+}
+
+// byteSplit accounts the encoded size: geometry (floating-point vertices,
+// particles, volumes, areas, extents) versus connectivity (IDs, counts,
+// face vertex indices, flags).
+func (m *BlockMesh) byteSplit() (geometry, connectivity int64) {
+	geometry = int64(48) // extents: 6 float64
+	geometry += int64(24 * len(m.Verts))
+	geometry += int64(24 * len(m.Particles))
+	geometry += int64(8 * len(m.Volumes))
+	geometry += int64(8 * len(m.Areas))
+
+	connectivity = int64(8 * 2) // counts header (nVerts, nCells)
+	connectivity += int64(8 * len(m.ParticleIDs))
+	connectivity += int64(1 * len(m.Complete))
+	for _, c := range m.Cells {
+		connectivity += 4 // face count
+		for _, f := range c.Faces {
+			connectivity += 8 + 4                   // neighbor + vert count
+			connectivity += int64(4 * len(f.Verts)) // indices
+		}
+	}
+	return geometry, connectivity
+}

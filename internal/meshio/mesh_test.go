@@ -1,0 +1,231 @@
+package meshio
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/voronoi"
+)
+
+// buildTestCells computes a small periodic tessellation to exercise the
+// data model with realistic cells.
+func buildTestCells(t testing.TB, n int, L float64, seed int64) []*voronoi.Cell {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := L / float64(n)
+	var pts []geom.Vec3
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				pts = append(pts, geom.V(
+					(float64(x)+0.5)*h+(rng.Float64()-0.5)*0.8*h,
+					(float64(y)+0.5)*h+(rng.Float64()-0.5)*0.8*h,
+					(float64(z)+0.5)*h+(rng.Float64()-0.5)*0.8*h))
+			}
+		}
+	}
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	cells, err := voronoi.ComputePeriodic(pts, ids, L, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func TestBuildBlockMeshBasics(t *testing.T) {
+	cells := buildTestCells(t, 4, 4, 68)
+	ext := geom.NewBox(geom.V(0, 0, 0), geom.V(4, 4, 4))
+	m := BuildBlockMesh(cells, ext, 0)
+	if m.NumCells() != len(cells) {
+		t.Fatalf("NumCells = %d, want %d", m.NumCells(), len(cells))
+	}
+	for i, c := range cells {
+		if math.Abs(m.Volumes[i]-c.Volume()) > 1e-12 {
+			t.Fatalf("cell %d volume mismatch", i)
+		}
+		if m.ParticleIDs[i] != c.SiteID {
+			t.Fatalf("cell %d id mismatch", i)
+		}
+		if len(m.Cells[i].Faces) != len(c.Faces) {
+			t.Fatalf("cell %d face count mismatch", i)
+		}
+	}
+	// Vertex welding: total references exceed unique vertices (sharing).
+	s := m.ComputeStats()
+	if s.VertSharing <= 1.5 {
+		t.Errorf("vertex sharing = %v, expected well above 1 for a tessellation", s.VertSharing)
+	}
+	if s.FacesPerCell < 4 {
+		t.Errorf("faces per cell = %v, implausibly low", s.FacesPerCell)
+	}
+	if s.VertsPerFace < 3 {
+		t.Errorf("verts per face = %v", s.VertsPerFace)
+	}
+}
+
+func TestWeldingPreservesGeometry(t *testing.T) {
+	// Face loops must reference vertices that match the source cell's
+	// coordinates to weld tolerance.
+	cells := buildTestCells(t, 3, 3, 69)
+	ext := geom.NewBox(geom.V(0, 0, 0), geom.V(3, 3, 3))
+	m := BuildBlockMesh(cells, ext, 0)
+	for ci, c := range cells {
+		for fi, f := range c.Faces {
+			mf := m.Cells[ci].Faces[fi]
+			if len(mf.Verts) != len(f.Loop) {
+				t.Fatalf("cell %d face %d length mismatch", ci, fi)
+			}
+			for k, vi := range f.Loop {
+				orig := c.Verts[vi]
+				stored := m.Verts[mf.Verts[k]]
+				if orig.Dist(stored) > 1e-5 {
+					t.Fatalf("cell %d face %d vertex %d moved by %v", ci, fi, k, orig.Dist(stored))
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cells := buildTestCells(t, 4, 4, 70)
+	ext := geom.NewBox(geom.V(0, 0, 0), geom.V(4, 4, 4))
+	m := BuildBlockMesh(cells, ext, 0)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeBlockMesh(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Extents != m.Extents {
+		t.Error("extents mismatch")
+	}
+	if len(m2.Verts) != len(m.Verts) || len(m2.Cells) != len(m.Cells) {
+		t.Fatalf("shape mismatch: %d/%d verts, %d/%d cells",
+			len(m2.Verts), len(m.Verts), len(m2.Cells), len(m.Cells))
+	}
+	for i := range m.Verts {
+		if m.Verts[i] != m2.Verts[i] {
+			t.Fatalf("vertex %d mismatch", i)
+		}
+	}
+	for i := range m.Cells {
+		if m.ParticleIDs[i] != m2.ParticleIDs[i] || m.Volumes[i] != m2.Volumes[i] ||
+			m.Areas[i] != m2.Areas[i] || m.Complete[i] != m2.Complete[i] {
+			t.Fatalf("cell %d scalar mismatch", i)
+		}
+		if len(m.Cells[i].Faces) != len(m2.Cells[i].Faces) {
+			t.Fatalf("cell %d face count mismatch", i)
+		}
+		for fi := range m.Cells[i].Faces {
+			f1, f2 := m.Cells[i].Faces[fi], m2.Cells[i].Faces[fi]
+			if f1.Neighbor != f2.Neighbor || len(f1.Verts) != len(f2.Verts) {
+				t.Fatalf("cell %d face %d mismatch", i, fi)
+			}
+			for k := range f1.Verts {
+				if f1.Verts[k] != f2.Verts[k] {
+					t.Fatalf("cell %d face %d vert %d mismatch", i, fi, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodedSizeMatchesAccounting(t *testing.T) {
+	cells := buildTestCells(t, 4, 4, 71)
+	ext := geom.NewBox(geom.V(0, 0, 0), geom.V(4, 4, 4))
+	m := BuildBlockMesh(cells, ext, 0)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.ComputeStats()
+	// Accounting covers everything except the 8-byte magic.
+	if int64(len(data)) != s.TotalBytes+8 {
+		t.Errorf("encoded %d bytes, accounting %d + 8 magic", len(data), s.TotalBytes)
+	}
+	// The paper: connectivity dominates the output (~93% of bytes for a
+	// full tessellation). Welded vertices keep geometry well under half.
+	if s.ConnectivityBytes <= s.GeometryBytes {
+		t.Errorf("connectivity (%d) should dominate geometry (%d)",
+			s.ConnectivityBytes, s.GeometryBytes)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	cells := buildTestCells(t, 3, 3, 72)
+	ext := geom.NewBox(geom.V(0, 0, 0), geom.V(3, 3, 3))
+	m := BuildBlockMesh(cells, ext, 0)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBlockMesh(data[:10]); err == nil {
+		t.Error("truncated block accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := DecodeBlockMesh(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := DecodeBlockMesh(append(data, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEncodeValidatesShape(t *testing.T) {
+	m := &BlockMesh{Particles: make([]geom.Vec3, 2), ParticleIDs: make([]int64, 1)}
+	if _, err := m.Encode(); err == nil {
+		t.Error("inconsistent arrays accepted")
+	}
+}
+
+func TestEmptyBlockRoundTrip(t *testing.T) {
+	m := &BlockMesh{Extents: geom.NewBox(geom.V(0, 0, 0), geom.V(1, 1, 1))}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeBlockMesh(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumCells() != 0 || len(m2.Verts) != 0 {
+		t.Error("empty block decoded non-empty")
+	}
+}
+
+func TestWriteVTK(t *testing.T) {
+	cells := buildTestCells(t, 3, 3, 73)
+	ext := geom.NewBox(geom.V(0, 0, 0), geom.V(3, 3, 3))
+	m := BuildBlockMesh(cells, ext, 0)
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, []*BlockMesh{m, m}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# vtk DataFile", "DATASET POLYDATA", "POINTS", "POLYGONS", "cell_volume"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// Point count doubles with two meshes.
+	i := strings.Index(out, "POINTS ")
+	var np int
+	var typ string
+	if _, err := fmt.Sscanf(out[i:], "POINTS %d %s", &np, &typ); err != nil {
+		t.Fatal(err)
+	}
+	if np != 2*len(m.Verts) {
+		t.Errorf("POINTS %d, want %d", np, 2*len(m.Verts))
+	}
+}

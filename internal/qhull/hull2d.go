@@ -1,0 +1,160 @@
+package qhull
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Point2 is a point in the plane.
+type Point2 struct {
+	X, Y float64
+}
+
+// Hull2D returns the convex hull of 2D points in counterclockwise order
+// (Andrew's monotone chain), with collinear boundary points omitted. The
+// paper's related work surveys 2D parallel hulls (Miller & Stout); this
+// serial kernel completes the computational-geometry toolkit and is used
+// for planar cross-sections of cells. Fewer than 3 distinct points return
+// the distinct points in sorted order.
+func Hull2D(pts []Point2) []Point2 {
+	s := append([]Point2(nil), pts...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].X != s[j].X {
+			return s[i].X < s[j].X
+		}
+		return s[i].Y < s[j].Y
+	})
+	// Dedupe.
+	uniq := s[:0]
+	for i, p := range s {
+		if i == 0 || p != s[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	s = uniq
+	if len(s) < 3 {
+		return append([]Point2(nil), s...)
+	}
+
+	cross := func(o, a, b Point2) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	var lower, upper []Point2
+	for _, p := range s {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		p := s[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		// All points collinear: return the two extremes.
+		return []Point2{s[0], s[len(s)-1]}
+	}
+	return hull
+}
+
+// Area2D returns the area enclosed by a counterclockwise polygon.
+func Area2D(poly []Point2) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	var a float64
+	for i := range poly {
+		p, q := poly[i], poly[(i+1)%len(poly)]
+		a += p.X*q.Y - q.X*p.Y
+	}
+	return a / 2
+}
+
+// CrossSection intersects a convex cell (given as vertices of its hull)
+// with the plane and returns the counterclockwise polygon of the section
+// in the plane's 2D frame, or nil when the plane misses the cell. It is
+// the 2D slice view used for Figure-1-style renderings.
+func CrossSection(verts []geom.Vec3, pl geom.Plane) []Point2 {
+	// Build the section points as intersections of hull edges with the
+	// plane: take the 3D hull, clip each edge.
+	h, err := Compute(verts)
+	if err != nil {
+		return nil
+	}
+	// Orthonormal frame in the plane.
+	n := pl.N.Normalize()
+	var ref geom.Vec3
+	if n.X*n.X < 0.9 {
+		ref = geom.Vec3{X: 1}
+	} else {
+		ref = geom.Vec3{Y: 1}
+	}
+	e1 := n.Cross(ref).Normalize()
+	e2 := n.Cross(e1)
+	origin := pl.Project(geom.Vec3{})
+
+	// Sections are small (<= tens of points): weld near-duplicates from
+	// adjacent triangulated faces by distance.
+	tol := 1e-9 * (1 + geom.BoundingBox(verts).Size().MaxAbs())
+	var pts2 []Point2
+	add := func(p geom.Vec3) {
+		u := p.Sub(origin)
+		q := Point2{X: u.Dot(e1), Y: u.Dot(e2)}
+		for _, ex := range pts2 {
+			if math.Abs(ex.X-q.X) <= tol && math.Abs(ex.Y-q.Y) <= tol {
+				return
+			}
+		}
+		pts2 = append(pts2, q)
+	}
+	for _, f := range h.Faces {
+		for i := 0; i < 3; i++ {
+			a := h.Points[f.V[i]]
+			b := h.Points[f.V[(i+1)%3]]
+			if t, ok := pl.SegmentCross(a, b); ok {
+				add(a.Lerp(b, t))
+			}
+		}
+	}
+	if len(pts2) < 3 {
+		return nil
+	}
+	hull := Hull2D(pts2)
+	// The triangulated 3D hull also yields intersection points on face
+	// diagonals; they lie on the section polygon's edges and must be
+	// dropped as (numerically near-)collinear.
+	return dropCollinear(hull, tol)
+}
+
+// dropCollinear removes vertices within tol of the segment joining their
+// neighbors.
+func dropCollinear(poly []Point2, tol float64) []Point2 {
+	if len(poly) < 4 {
+		return poly
+	}
+	out := append([]Point2(nil), poly...)
+	for changed := true; changed && len(out) > 3; {
+		changed = false
+		for i := 0; i < len(out); i++ {
+			a := out[(i-1+len(out))%len(out)]
+			b := out[i]
+			c := out[(i+1)%len(out)]
+			ux, uy := c.X-a.X, c.Y-a.Y
+			vx, vy := b.X-a.X, b.Y-a.Y
+			cross := ux*vy - uy*vx
+			norm := math.Hypot(ux, uy)
+			if norm == 0 || math.Abs(cross)/norm <= tol {
+				out = append(out[:i], out[i+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return out
+}

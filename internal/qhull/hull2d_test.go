@@ -1,0 +1,111 @@
+package qhull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestHull2DSquare(t *testing.T) {
+	pts := []Point2{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.8}}
+	h := Hull2D(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size %d, want 4", len(h))
+	}
+	if got := Area2D(h); math.Abs(got-1) > 1e-12 {
+		t.Errorf("area = %v, want 1", got)
+	}
+	// CCW orientation: positive area.
+	if Area2D(h) <= 0 {
+		t.Error("hull not counterclockwise")
+	}
+}
+
+func TestHull2DDegenerate(t *testing.T) {
+	if h := Hull2D(nil); len(h) != 0 {
+		t.Errorf("empty input: %v", h)
+	}
+	if h := Hull2D([]Point2{{1, 2}}); len(h) != 1 {
+		t.Errorf("single point: %v", h)
+	}
+	if h := Hull2D([]Point2{{1, 2}, {1, 2}, {1, 2}}); len(h) != 1 {
+		t.Errorf("duplicates: %v", h)
+	}
+	// Collinear points reduce to the two extremes.
+	col := []Point2{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	h := Hull2D(col)
+	if len(h) != 2 || h[0] != (Point2{0, 0}) || h[1] != (Point2{3, 3}) {
+		t.Errorf("collinear hull: %v", h)
+	}
+}
+
+func TestHull2DContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	pts := make([]Point2, 500)
+	for i := range pts {
+		pts[i] = Point2{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	h := Hull2D(pts)
+	cross := func(o, a, b Point2) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	for _, p := range pts {
+		for i := range h {
+			a, b := h[i], h[(i+1)%len(h)]
+			if cross(a, b, p) < -1e-9 {
+				t.Fatalf("point %v outside hull edge %v-%v", p, a, b)
+			}
+		}
+	}
+}
+
+func TestHull2DCircleArea(t *testing.T) {
+	n := 1000
+	pts := make([]Point2, n)
+	for i := range pts {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = Point2{math.Cos(a), math.Sin(a)}
+	}
+	h := Hull2D(pts)
+	if got := Area2D(h); math.Abs(got-math.Pi) > 0.01 {
+		t.Errorf("circle hull area = %v, want ~pi", got)
+	}
+}
+
+func TestCrossSectionCube(t *testing.T) {
+	// Slicing the unit cube at z = 0.5 yields a unit square of area 1.
+	cube := geom.NewBox(geom.V(0, 0, 0), geom.V(1, 1, 1))
+	corners := cube.Corners()
+	pl := geom.NewPlane(geom.V(0, 0, 1), geom.V(0, 0, 0.5))
+	sect := CrossSection(corners[:], pl)
+	if sect == nil {
+		t.Fatal("no section")
+	}
+	if got := Area2D(sect); math.Abs(got-1) > 1e-9 {
+		t.Errorf("section area = %v, want 1", got)
+	}
+	// Diagonal slice through the center: x+y+z = 1.5 gives a regular
+	// hexagon of area 3*sqrt(3)/4 * (sqrt(2)/2 * 2)... known: hexagon side
+	// sqrt(2)/2, area = (3*sqrt(3)/2) * s^2 = 3*sqrt(3)/4.
+	diag := geom.NewPlane(geom.V(1, 1, 1), geom.V(0.5, 0.5, 0.5))
+	hex := CrossSection(corners[:], diag)
+	if len(hex) != 6 {
+		t.Fatalf("diagonal section has %d vertices, want 6", len(hex))
+	}
+	want := 3 * math.Sqrt(3) / 4
+	if got := Area2D(hex); math.Abs(got-want) > 1e-9 {
+		t.Errorf("hexagon area = %v, want %v", got, want)
+	}
+	// A plane missing the cube yields nil.
+	if s := CrossSection(corners[:], geom.NewPlane(geom.V(0, 0, 1), geom.V(0, 0, 5))); s != nil {
+		t.Errorf("missing plane produced section %v", s)
+	}
+}
+
+func TestCrossSectionDegenerateInput(t *testing.T) {
+	if s := CrossSection([]geom.Vec3{{X: 1}}, geom.NewPlane(geom.V(0, 0, 1), geom.Vec3{})); s != nil {
+		t.Errorf("degenerate input produced %v", s)
+	}
+}

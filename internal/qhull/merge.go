@@ -1,0 +1,124 @@
+package qhull
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// MergedFace is a planar polygonal facet assembled from coplanar adjacent
+// triangles, given as an ordered loop of input point indices
+// (counterclockwise from outside).
+type MergedFace struct {
+	Loop  []int
+	Plane geom.Plane
+}
+
+// MergedFaces groups coplanar adjacent triangles into polygonal facets —
+// the view Qhull reports for merged facets and the one the paper's data
+// model stores (cells averaging ~15 faces with ~5 vertices per face).
+// angleTol is the cosine tolerance for normal agreement; pass 0 for the
+// default of 1e-9.
+func (h *Hull) MergedFaces(angleTol float64) []MergedFace {
+	if angleTol <= 0 {
+		angleTol = 1e-9
+	}
+	n := len(h.Faces)
+	if n == 0 {
+		return nil
+	}
+
+	// Union-find over triangles, merging across shared edges with parallel
+	// normals and mutual coplanarity.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Map directed edges to triangle index.
+	edgeOwner := make(map[[2]int]int, 3*n)
+	for fi, f := range h.Faces {
+		for i := 0; i < 3; i++ {
+			edgeOwner[[2]int{f.V[i], f.V[(i+1)%3]}] = fi
+		}
+	}
+	for fi, f := range h.Faces {
+		for i := 0; i < 3; i++ {
+			twin, ok := edgeOwner[[2]int{f.V[(i+1)%3], f.V[i]}]
+			if !ok || twin <= fi {
+				continue
+			}
+			g := h.Faces[twin]
+			if f.Plane.N.Dot(g.Plane.N) >= 1-angleTol && coplanarTris(h, f, g) {
+				union(fi, twin)
+			}
+		}
+	}
+
+	// Collect boundary edges per group: a directed edge is on the facet
+	// boundary when its twin belongs to a different group.
+	groupEdges := map[int][][2]int{}
+	for fi, f := range h.Faces {
+		gi := find(fi)
+		for i := 0; i < 3; i++ {
+			e := [2]int{f.V[i], f.V[(i+1)%3]}
+			twin, ok := edgeOwner[[2]int{e[1], e[0]}]
+			if ok && find(twin) == gi {
+				continue
+			}
+			groupEdges[gi] = append(groupEdges[gi], e)
+		}
+	}
+
+	var out []MergedFace
+	for gi, edges := range groupEdges {
+		loop := chainLoop(edges)
+		if len(loop) < 3 {
+			continue
+		}
+		out = append(out, MergedFace{Loop: loop, Plane: h.Faces[gi].Plane})
+	}
+	return out
+}
+
+func coplanarTris(h *Hull, f, g Face) bool {
+	for _, vi := range g.V {
+		if math.Abs(f.Plane.Eval(h.Points[vi])) > 1e3*h.eps {
+			return false
+		}
+	}
+	return true
+}
+
+// chainLoop orders directed boundary edges into a single vertex loop. For a
+// convex facet the boundary is one simple cycle.
+func chainLoop(edges [][2]int) []int {
+	next := make(map[int]int, len(edges))
+	for _, e := range edges {
+		next[e[0]] = e[1]
+	}
+	if len(next) != len(edges) {
+		return nil // non-manifold boundary; give up on this facet
+	}
+	start := edges[0][0]
+	loop := []int{start}
+	for cur := next[start]; cur != start; cur = next[cur] {
+		loop = append(loop, cur)
+		if len(loop) > len(edges) {
+			return nil // not a single cycle
+		}
+	}
+	if len(loop) != len(edges) {
+		return nil
+	}
+	return loop
+}

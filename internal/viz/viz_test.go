@@ -1,0 +1,217 @@
+package viz
+
+import (
+	"bytes"
+	"image/color"
+	"image/png"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := RenderDensitySlice(nil, nil, NewSliceConfig(8)); err == nil {
+		t.Error("empty sites accepted")
+	}
+	if _, err := RenderDensitySlice(make([]geom.Vec3, 2), make([]float64, 3), NewSliceConfig(8)); err == nil {
+		t.Error("misaligned volumes accepted")
+	}
+	cfg := NewSliceConfig(0)
+	if _, err := RenderDensitySlice([]geom.Vec3{{X: 1, Y: 1, Z: 1}}, []float64{1}, cfg); err == nil {
+		t.Error("zero box accepted")
+	}
+}
+
+func TestRenderUniformIsFlat(t *testing.T) {
+	// Equal-volume cells: every pixel maps to the same color.
+	const L = 4.0
+	var sites []geom.Vec3
+	var vols []float64
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				sites = append(sites, geom.V(float64(x)+0.5, float64(y)+0.5, float64(z)+0.5))
+				vols = append(vols, 1)
+			}
+		}
+	}
+	cfg := NewSliceConfig(L)
+	cfg.Pixels = 32
+	img, err := RenderDensitySlice(sites, vols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 32 {
+		t.Fatalf("image bounds %v", img.Bounds())
+	}
+	first := img.RGBAAt(0, 0)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if img.RGBAAt(x, y) != first {
+				t.Fatalf("uniform field rendered non-uniform at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestRenderClusterIsBrighter(t *testing.T) {
+	// One tiny (dense) cell among big (empty) ones: its pixel must be
+	// hotter (higher heat index) than the background.
+	const L = 8.0
+	rng := rand.New(rand.NewSource(126))
+	var sites []geom.Vec3
+	var vols []float64
+	for i := 0; i < 60; i++ {
+		sites = append(sites, geom.V(rng.Float64()*L, rng.Float64()*L, rng.Float64()*L))
+		vols = append(vols, 8)
+	}
+	dense := geom.V(4, 4, 4)
+	sites = append(sites, dense)
+	vols = append(vols, 0.01)
+
+	cfg := NewSliceConfig(L)
+	cfg.Pixels = 64
+	cfg.Z = 4
+	img, err := RenderDensitySlice(sites, vols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pixel at the dense site (x=4 -> col 32, y=4 -> row 31 from bottom).
+	at := img.RGBAAt(32, 31)
+	// The hot end of the ramp is bright (high R+G); the cold end is dark.
+	corner := img.RGBAAt(0, 0)
+	if int(at.R)+int(at.G) <= int(corner.R)+int(corner.G) {
+		t.Errorf("dense pixel %v not hotter than background %v", at, corner)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	var sites []geom.Vec3
+	var vols []float64
+	for i := 0; i < 100; i++ {
+		sites = append(sites, geom.V(rng.Float64()*5, rng.Float64()*5, rng.Float64()*5))
+		vols = append(vols, 0.1+rng.Float64())
+	}
+	cfg := NewSliceConfig(5)
+	cfg.Pixels = 24
+	a, err := RenderDensitySlice(sites, vols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenderDensitySlice(sites, vols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Error("render not deterministic")
+	}
+}
+
+func TestHeatRampEndpoints(t *testing.T) {
+	cold := heat(0)
+	hot := heat(1)
+	if int(hot.R)+int(hot.G)+int(hot.B) <= int(cold.R)+int(cold.G)+int(cold.B) {
+		t.Errorf("ramp not increasing: cold %v hot %v", cold, hot)
+	}
+	// Clamping.
+	if heat(-5) != heat(0) || heat(7) != heat(1) {
+		t.Error("heat does not clamp")
+	}
+}
+
+func TestMarkSites(t *testing.T) {
+	const L = 4.0
+	sites := []geom.Vec3{{X: 2, Y: 2, Z: 2}}
+	vols := []float64{1}
+	cfg := NewSliceConfig(L)
+	cfg.Pixels = 16
+	cfg.Z = 2
+	img, err := RenderDensitySlice(sites, vols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := img.RGBAAt(8, 7)
+	MarkSites(img, sites, L, 2, 0.5)
+	after := img.RGBAAt(8, 7)
+	if before == after {
+		t.Error("marker did not change the pixel")
+	}
+	if after != (color.RGBA{0, 255, 180, 255}) {
+		t.Errorf("marker color %v", after)
+	}
+	// A site far from the slice is not marked.
+	img2, _ := RenderDensitySlice(sites, vols, cfg)
+	MarkSites(img2, []geom.Vec3{{X: 2, Y: 2, Z: 0.1}}, L, 2, 0.5)
+	if img2.RGBAAt(8, 7) != before {
+		t.Error("distant site was marked")
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	sites := []geom.Vec3{{X: 1, Y: 1, Z: 1}, {X: 3, Y: 3, Z: 3}}
+	vols := []float64{1, 2}
+	cfg := NewSliceConfig(4)
+	cfg.Pixels = 8
+	img, err := RenderDensitySlice(sites, vols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 8 {
+		t.Errorf("decoded bounds %v", decoded.Bounds())
+	}
+}
+
+func TestRenderGridSlice(t *testing.T) {
+	const m = 4
+	field := make([]float64, m*m*m)
+	for i := range field {
+		field[i] = 1
+	}
+	// A hot voxel in layer 2.
+	field[(2*m+1)*m+3] = 100
+	img, err := RenderGridSlice(field, m, 2, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 16 {
+		t.Fatalf("bounds %v", img.Bounds())
+	}
+	// The hot voxel's pixels differ from the background.
+	bg := img.RGBAAt(0, 15)
+	hot := img.RGBAAt(13, 15-5) // gx=3 -> px 12..15, gy=1 -> py 4..7 (flipped)
+	if bg == hot {
+		t.Error("hot voxel not visible")
+	}
+	// A different layer is uniform.
+	img0, err := RenderGridSlice(field, m, 0, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := img0.RGBAAt(0, 0)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if img0.RGBAAt(x, y) != first {
+				t.Fatal("uniform layer rendered non-uniform")
+			}
+		}
+	}
+}
+
+func TestRenderGridSliceValidation(t *testing.T) {
+	if _, err := RenderGridSlice(make([]float64, 7), 2, 0, 8, false); err == nil {
+		t.Error("bad field length accepted")
+	}
+	if _, err := RenderGridSlice(make([]float64, 8), 2, 5, 8, false); err == nil {
+		t.Error("bad z index accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package voids
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cosmo"
+	"repro/internal/geom"
+)
+
+// Center returns the volume-weighted centroid of a component's cells (the
+// conventional void center), periodic-aware: sites are unwrapped around
+// the first member before averaging.
+func Center(members []*CellRecord, boxSize float64) geom.Vec3 {
+	if len(members) == 0 {
+		return geom.Vec3{}
+	}
+	ref := members[0].Site
+	var sum geom.Vec3
+	var wsum float64
+	for _, c := range members {
+		p := ref.Add(cosmo.MinImage(ref, c.Site, boxSize))
+		sum = sum.Add(p.Scale(c.Volume))
+		wsum += c.Volume
+	}
+	if wsum == 0 {
+		return cosmo.Wrap(ref, boxSize)
+	}
+	return cosmo.Wrap(sum.Scale(1/wsum), boxSize)
+}
+
+// ProfileBin is one shell of a stacked void density profile.
+type ProfileBin struct {
+	// R is the bin center radius.
+	R float64
+	// Density is the mean particle number density in the shell, in units
+	// of the box mean (1 = mean density; voids read below 1 at the center
+	// and approach or overshoot 1 at the walls).
+	Density float64
+	// Count is the number of particles accumulated over all stacked voids.
+	Count int64
+}
+
+// StackedProfile measures the spherically averaged density profile around
+// the given centers, stacked: the standard void statistic (density rises
+// from a deep minimum at the center toward the compensation wall). rmax
+// must not exceed half the box.
+func StackedProfile(particles []geom.Vec3, centers []geom.Vec3, boxSize, rmax float64, bins int) ([]ProfileBin, error) {
+	if len(particles) == 0 || len(centers) == 0 {
+		return nil, fmt.Errorf("voids: need particles and centers")
+	}
+	if rmax <= 0 || rmax > boxSize/2 {
+		return nil, fmt.Errorf("voids: rmax %g must be in (0, box/2]", rmax)
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("voids: bins %d", bins)
+	}
+	counts := make([]int64, bins)
+	for _, c := range centers {
+		for _, p := range particles {
+			d := cosmo.MinImage(c, p, boxSize).Norm()
+			if d >= rmax {
+				continue
+			}
+			bi := int(d / rmax * float64(bins))
+			if bi >= bins {
+				bi = bins - 1
+			}
+			counts[bi]++
+		}
+	}
+	meanDensity := float64(len(particles)) / (boxSize * boxSize * boxSize)
+	dr := rmax / float64(bins)
+	out := make([]ProfileBin, bins)
+	for i := 0; i < bins; i++ {
+		r1 := float64(i) * dr
+		r2 := r1 + dr
+		shellVol := 4 * math.Pi / 3 * (r2*r2*r2 - r1*r1*r1) * float64(len(centers))
+		out[i] = ProfileBin{R: r1 + dr/2, Count: counts[i]}
+		if shellVol > 0 {
+			out[i].Density = float64(counts[i]) / shellVol / meanDensity
+		}
+	}
+	return out, nil
+}
+
+// ComponentCenters returns the void centers of the given components,
+// resolving member IDs through the full record set.
+func ComponentCenters(comps []Component, recs []CellRecord, boxSize float64) []geom.Vec3 {
+	byID := make(map[int64]*CellRecord, len(recs))
+	for i := range recs {
+		byID[recs[i].ID] = &recs[i]
+	}
+	out := make([]geom.Vec3, 0, len(comps))
+	for _, c := range comps {
+		var members []*CellRecord
+		for _, id := range c.CellIDs {
+			if r, ok := byID[id]; ok {
+				members = append(members, r)
+			}
+		}
+		out = append(out, Center(members, boxSize))
+	}
+	return out
+}

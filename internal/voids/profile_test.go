@@ -1,0 +1,130 @@
+package voids_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/geom"
+	"repro/internal/voids"
+)
+
+func TestCenterPeriodic(t *testing.T) {
+	// A void straddling the box corner: the volume-weighted center wraps
+	// correctly instead of averaging to the box middle.
+	const L = 10.0
+	members := []*voids.CellRecord{
+		{ID: 1, Site: geom.V(9.8, 9.8, 9.8), Volume: 1},
+		{ID: 2, Site: geom.V(0.2, 0.2, 0.2), Volume: 1},
+	}
+	c := voids.Center(members, L)
+	d := cosmo.MinImage(c, geom.V(0, 0, 0), L).Norm()
+	if d > 0.01 {
+		t.Errorf("corner void center = %v (%.3f from corner)", c, d)
+	}
+	// Volume weighting: a heavier cell pulls the center toward it.
+	members[0].Volume = 3
+	c = voids.Center(members, L)
+	d1 := cosmo.MinImage(c, members[0].Site, L).Norm()
+	d2 := cosmo.MinImage(c, members[1].Site, L).Norm()
+	if d1 >= d2 {
+		t.Errorf("center not pulled toward heavier cell: %v vs %v", d1, d2)
+	}
+	if got := voids.Center(nil, L); got != (geom.Vec3{}) {
+		t.Errorf("empty center = %v", got)
+	}
+}
+
+func TestStackedProfileValidation(t *testing.T) {
+	p := []geom.Vec3{{X: 1, Y: 1, Z: 1}}
+	c := []geom.Vec3{{X: 2, Y: 2, Z: 2}}
+	if _, err := voids.StackedProfile(nil, c, 8, 2, 4); err == nil {
+		t.Error("no particles accepted")
+	}
+	if _, err := voids.StackedProfile(p, c, 8, 5, 4); err == nil {
+		t.Error("rmax > box/2 accepted")
+	}
+	if _, err := voids.StackedProfile(p, c, 8, 2, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestStackedProfileUniform(t *testing.T) {
+	// Uniform particles around arbitrary centers read density ~1 at all
+	// radii.
+	rng := rand.New(rand.NewSource(135))
+	const L = 12.0
+	pts := make([]geom.Vec3, 8000)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64()*L, rng.Float64()*L, rng.Float64()*L)
+	}
+	centers := []geom.Vec3{geom.V(3, 3, 3), geom.V(9, 9, 9)}
+	prof, err := voids.StackedProfile(pts, centers, L, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range prof[1:] { // innermost bin has few particles
+		if math.Abs(b.Density-1) > 0.25 {
+			t.Errorf("uniform profile at r=%.2f reads %.3f, want ~1", b.R, b.Density)
+		}
+	}
+}
+
+func TestStackedProfileEmptyCenter(t *testing.T) {
+	// Particles excluded from a ball around the center: the profile reads
+	// ~0 inside the ball and ~1 outside (a synthetic void).
+	rng := rand.New(rand.NewSource(136))
+	const L = 12.0
+	center := geom.V(6, 6, 6)
+	const hole = 3.0
+	var pts []geom.Vec3
+	for len(pts) < 6000 {
+		p := geom.V(rng.Float64()*L, rng.Float64()*L, rng.Float64()*L)
+		if cosmo.MinImage(center, p, L).Norm() < hole {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	prof, err := voids.StackedProfile(pts, []geom.Vec3{center}, L, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bins fully inside the hole: near zero.
+	for _, b := range prof {
+		if b.R < hole-1 && b.Density > 0.05 {
+			t.Errorf("hole at r=%.2f reads %.3f", b.R, b.Density)
+		}
+		if b.R > hole+1 && math.Abs(b.Density-1) > 0.3 {
+			t.Errorf("outside at r=%.2f reads %.3f, want ~1", b.R, b.Density)
+		}
+	}
+}
+
+func TestComponentCentersAndProfileOnTessellation(t *testing.T) {
+	// End-to-end: find voids on a clustered box, stack their profiles; the
+	// central density must be below the mean (that is what a void is).
+	recs := tessellate(t, 8, 8, 137, 4, 0)
+	var vols []float64
+	var sites []geom.Vec3
+	for _, r := range recs {
+		vols = append(vols, r.Volume)
+		sites = append(sites, r.Site)
+	}
+	// Threshold at twice the mean cell volume.
+	comps := voids.ConnectedComponents(voids.Threshold(recs, 2.0))
+	if len(comps) == 0 {
+		t.Skip("no voids at this seed")
+	}
+	centers := voids.ComponentCenters(comps, recs, 8)
+	if len(centers) != len(comps) {
+		t.Fatalf("centers = %d, comps = %d", len(centers), len(comps))
+	}
+	prof, err := voids.StackedProfile(sites, centers, 8, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0].Density >= 1 {
+		t.Errorf("void central density %.3f not below the mean", prof[0].Density)
+	}
+}

@@ -1,0 +1,235 @@
+package voids
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Watershed void finding in the style of ZOBOV (Neyrinck 2008) and the
+// Watershed Void Finder (Platen, van de Weygaert & Jones 2007), the
+// paper's Sec. II-A lineage: instead of a single global volume threshold
+// (Threshold + ConnectedComponents), the density field implied by the
+// Voronoi cells is segmented into *zones* — basins of steepest descent
+// toward local density minima — and zones are then merged into voids up to
+// a density barrier ("filling a landscape with water, with the valleys
+// acting as voids and the ridges between valleys as filaments and walls").
+
+// Zone is one catchment basin of the density field.
+type Zone struct {
+	// Core is the cell ID of the zone's density minimum.
+	Core int64
+	// CellIDs are the member cells (sorted).
+	CellIDs []int64
+	// CoreDensity is the density (1/volume) at the core.
+	CoreDensity float64
+	// Volume is the total member cell volume.
+	Volume float64
+}
+
+// Watershed segments the cells into zones: every cell descends to its
+// lowest-density neighbor until it reaches a local minimum (a cell denser
+// than all its surviving neighbors is its own zone core when isolated).
+// Cells listed in recs but absent from the adjacency of others are
+// permitted; wall faces are ignored. Zones are returned sorted by
+// decreasing volume.
+func Watershed(recs []CellRecord) ([]Zone, error) {
+	byID := make(map[int64]*CellRecord, len(recs))
+	for i := range recs {
+		if _, dup := byID[recs[i].ID]; dup {
+			return nil, fmt.Errorf("voids: duplicate cell ID %d", recs[i].ID)
+		}
+		byID[recs[i].ID] = &recs[i]
+	}
+	density := func(c *CellRecord) float64 {
+		if c.Volume <= 0 {
+			return 0
+		}
+		return 1 / c.Volume
+	}
+
+	// Steepest-descent target per cell: the neighbor with the lowest
+	// density, if lower than own density.
+	sink := make(map[int64]int64, len(recs))
+	for i := range recs {
+		c := &recs[i]
+		best := c.ID
+		bestD := density(c)
+		for _, nb := range c.Neighbors {
+			n, ok := byID[nb]
+			if !ok {
+				continue
+			}
+			if d := density(n); d < bestD || (d == bestD && n.ID < best) {
+				best = n.ID
+				bestD = d
+			}
+		}
+		sink[c.ID] = best
+	}
+
+	// Follow descents to cores with path compression.
+	var coreOf func(id int64) int64
+	memo := make(map[int64]int64, len(recs))
+	coreOf = func(id int64) int64 {
+		if c, ok := memo[id]; ok {
+			return c
+		}
+		// Iterative walk with cycle guard (ties broken by ID make cycles
+		// impossible, but guard anyway).
+		path := []int64{id}
+		cur := id
+		for {
+			nxt := sink[cur]
+			if nxt == cur {
+				break
+			}
+			if c, ok := memo[nxt]; ok {
+				cur = c
+				break
+			}
+			cur = nxt
+			path = append(path, cur)
+			if len(path) > len(recs)+1 {
+				// Defensive: should be unreachable.
+				break
+			}
+		}
+		core := cur
+		if c, ok := memo[core]; ok {
+			core = c
+		}
+		for _, p := range path {
+			memo[p] = core
+		}
+		return core
+	}
+
+	groups := map[int64][]int64{}
+	for i := range recs {
+		core := coreOf(recs[i].ID)
+		groups[core] = append(groups[core], recs[i].ID)
+	}
+	zones := make([]Zone, 0, len(groups))
+	for core, ids := range groups {
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		z := Zone{Core: core, CellIDs: ids, CoreDensity: density(byID[core])}
+		for _, id := range ids {
+			z.Volume += byID[id].Volume
+		}
+		zones = append(zones, z)
+	}
+	sort.Slice(zones, func(a, b int) bool {
+		if zones[a].Volume != zones[b].Volume {
+			return zones[a].Volume > zones[b].Volume
+		}
+		return zones[a].Core < zones[b].Core
+	})
+	return zones, nil
+}
+
+// WatershedVoid is a void grown from a zone by flooding: neighboring zones
+// are merged while the density on the ridge between them stays below the
+// barrier.
+type WatershedVoid struct {
+	// Zones are the merged zone cores.
+	Zones []int64
+	// CellIDs are all member cells (sorted).
+	CellIDs []int64
+	// Volume is the total volume.
+	Volume float64
+}
+
+// FloodZones merges zones into voids: two zones join when some pair of
+// adjacent cells across their shared ridge both have density below
+// barrier. This is the watershed transform's flooding level; barrier = 0
+// returns the zones unmerged. Voids are sorted by decreasing volume.
+func FloodZones(recs []CellRecord, zones []Zone, barrier float64) []WatershedVoid {
+	zoneOf := map[int64]int64{}
+	for _, z := range zones {
+		for _, id := range z.CellIDs {
+			zoneOf[id] = z.Core
+		}
+	}
+	byID := make(map[int64]*CellRecord, len(recs))
+	for i := range recs {
+		byID[recs[i].ID] = &recs[i]
+	}
+	density := func(id int64) float64 {
+		c := byID[id]
+		if c == nil || c.Volume <= 0 {
+			return 0
+		}
+		return 1 / c.Volume
+	}
+
+	parent := map[int64]int64{}
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for _, z := range zones {
+		find(z.Core)
+	}
+
+	if barrier > 0 {
+		for i := range recs {
+			c := &recs[i]
+			if density(c.ID) >= barrier {
+				continue
+			}
+			za := zoneOf[c.ID]
+			for _, nb := range c.Neighbors {
+				zb, ok := zoneOf[nb]
+				if !ok || zb == za {
+					continue
+				}
+				if density(nb) < barrier {
+					union(za, zb)
+				}
+			}
+		}
+	}
+
+	merged := map[int64]*WatershedVoid{}
+	for _, z := range zones {
+		root := find(z.Core)
+		v := merged[root]
+		if v == nil {
+			v = &WatershedVoid{}
+			merged[root] = v
+		}
+		v.Zones = append(v.Zones, z.Core)
+		v.CellIDs = append(v.CellIDs, z.CellIDs...)
+		v.Volume += z.Volume
+	}
+	out := make([]WatershedVoid, 0, len(merged))
+	for _, v := range merged {
+		sort.Slice(v.CellIDs, func(a, b int) bool { return v.CellIDs[a] < v.CellIDs[b] })
+		sort.Slice(v.Zones, func(a, b int) bool { return v.Zones[a] < v.Zones[b] })
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Volume != out[b].Volume {
+			return out[a].Volume > out[b].Volume
+		}
+		return out[a].Zones[0] < out[b].Zones[0]
+	})
+	return out
+}

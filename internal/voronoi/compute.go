@@ -1,0 +1,211 @@
+package voronoi
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// ComputeCell builds the Voronoi cell of site among the points of ix,
+// clipping in nearest-first order and stopping once the security-radius
+// criterion proves the cell final: when every unprocessed point is farther
+// than twice the distance to the farthest remaining cell vertex, no
+// bisector can cut the cell any more.
+//
+// initBox is the initial clipping volume (it must strictly contain the
+// site); walls of this box that survive clipping mark the cell incomplete,
+// as does exhausting the index before the security radius is reached. The
+// site itself (any indexed point within ~0 distance of it) is skipped.
+func ComputeCell(ix *Index, site geom.Vec3, id int64, initBox geom.Box) (*Cell, error) {
+	cell, err := NewCellBox(site, id, initBox)
+	if err != nil {
+		return nil, err
+	}
+	h := ix.MinCellSize()
+	maxShell := ix.MaxShell(site)
+	secure := false
+	siteEps := 1e-12 * initBox.Size().MaxAbs()
+
+	for s := 0; s <= maxShell; s++ {
+		pts := ix.Shell(site, s)
+		maxR := cell.MaxVertexDist()
+		for _, sp := range pts {
+			if sp.Dist <= siteEps {
+				continue // the site itself
+			}
+			// Within a shell, points are sorted by distance and clipping
+			// only shrinks the cell, so once a point is beyond the cutting
+			// range the rest of the shell is too.
+			if sp.Dist >= 2*maxR {
+				break
+			}
+			if cell.Clip(geom.Bisector(site, sp.Pos), sp.ID) {
+				if cell.Empty() {
+					return cell, fmt.Errorf("voronoi: cell of site %v emptied by %v (duplicate points?)", site, sp.Pos)
+				}
+				maxR = cell.MaxVertexDist()
+			}
+		}
+		// All points within s*h are guaranteed processed after shell s.
+		if float64(s)*h >= 2*cell.MaxVertexDist() {
+			secure = true
+			break
+		}
+	}
+	cell.Complete = secure && !cell.HasWall()
+	return cell, nil
+}
+
+// ComputeCellFixedShells is the ablation baseline for the security-radius
+// termination: it clips against every point in grid shells 0..shells
+// unconditionally, with no early stop and no proof of completeness. With
+// too few shells the cell can be silently wrong; with many shells it does
+// redundant work. It exists to quantify what the security-radius criterion
+// buys (BenchmarkAblationSecurityRadius).
+func ComputeCellFixedShells(ix *Index, site geom.Vec3, id int64, initBox geom.Box, shells int) (*Cell, error) {
+	cell, err := NewCellBox(site, id, initBox)
+	if err != nil {
+		return nil, err
+	}
+	siteEps := 1e-12 * initBox.Size().MaxAbs()
+	maxShell := ix.MaxShell(site)
+	if shells > maxShell {
+		shells = maxShell
+	}
+	for s := 0; s <= shells; s++ {
+		for _, sp := range ix.Shell(site, s) {
+			if sp.Dist <= siteEps {
+				continue
+			}
+			cell.Clip(geom.Bisector(site, sp.Pos), sp.ID)
+			if cell.Empty() {
+				return cell, fmt.Errorf("voronoi: cell of site %v emptied (duplicate points?)", site)
+			}
+		}
+	}
+	cell.Complete = !cell.HasWall() // no proof; walls are the only signal
+	return cell, nil
+}
+
+// ComputeCellBrute is the ablation baseline for the grid-bucketed neighbor
+// search: it clips against every indexed point in order of distance,
+// stopping only when the remaining points are provably out of cutting
+// range. Identical output to ComputeCell, O(n log n) per cell
+// (BenchmarkAblationNeighborSearch).
+func ComputeCellBrute(pts []geom.Vec3, ids []int64, site geom.Vec3, id int64, initBox geom.Box) (*Cell, error) {
+	cell, err := NewCellBox(site, id, initBox)
+	if err != nil {
+		return nil, err
+	}
+	type dp struct {
+		d   float64
+		idx int
+	}
+	order := make([]dp, len(pts))
+	for i, p := range pts {
+		order[i] = dp{d: p.Dist(site), idx: i}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].d < order[b].d })
+	siteEps := 1e-12 * initBox.Size().MaxAbs()
+	secure := false
+	for _, o := range order {
+		if o.d <= siteEps {
+			continue
+		}
+		if o.d >= 2*cell.MaxVertexDist() {
+			secure = true
+			break
+		}
+		cell.Clip(geom.Bisector(site, pts[o.idx]), ids[o.idx])
+		if cell.Empty() {
+			return cell, fmt.Errorf("voronoi: cell of site %v emptied (duplicate points?)", site)
+		}
+	}
+	if !secure {
+		// Exhausted every point: the cell is exact with respect to the
+		// input set, which is all the brute force can promise.
+		secure = true
+	}
+	cell.Complete = secure && !cell.HasWall()
+	return cell, nil
+}
+
+// ComputePeriodic computes the full periodic Voronoi tessellation of the
+// point set in the cubic box [0, L)^3: every point of the box gets a cell,
+// and cells near the boundary are shaped by periodic images. This is the
+// serial reference implementation that the parallel accuracy study
+// (Table I) compares against.
+//
+// margin controls how far outside the box periodic images are kept; it must
+// exceed twice the largest cell radius for full correctness. Pass 0 for the
+// default of L/2, which is ample for any point set dense enough to be of
+// interest (cells spanning a quarter of the box would be required to break
+// it, and such cells are flagged Complete == false rather than silently
+// wrong). workers sets the number of concurrent cell builders (0 means
+// GOMAXPROCS).
+func ComputePeriodic(pts []geom.Vec3, ids []int64, L float64, margin float64, workers int) ([]*Cell, error) {
+	if len(pts) != len(ids) {
+		return nil, fmt.Errorf("voronoi: %d points but %d ids", len(pts), len(ids))
+	}
+	if L <= 0 {
+		return nil, fmt.Errorf("voronoi: non-positive box size %g", L)
+	}
+	if margin <= 0 {
+		margin = L / 2
+	}
+	domain := geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L))
+	expanded := domain.Expand(margin)
+
+	// Original points first (indices align), then periodic images within
+	// the margin.
+	allPts := append([]geom.Vec3(nil), pts...)
+	allIDs := append([]int64(nil), ids...)
+	for i, p := range pts {
+		for sx := -1.0; sx <= 1; sx++ {
+			for sy := -1.0; sy <= 1; sy++ {
+				for sz := -1.0; sz <= 1; sz++ {
+					if sx == 0 && sy == 0 && sz == 0 {
+						continue
+					}
+					img := p.Add(geom.V(sx*L, sy*L, sz*L))
+					if expanded.Contains(img) {
+						allPts = append(allPts, img)
+						allIDs = append(allIDs, ids[i])
+					}
+				}
+			}
+		}
+	}
+	ix := NewIndex(allPts, allIDs, 0)
+
+	cells := make([]*Cell, len(pts))
+	errs := make([]error, len(pts))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cells[i], errs[i] = ComputeCell(ix, pts[i], ids[i], geom.Cube(pts[i], L/2))
+			}
+		}()
+	}
+	for i := range pts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}

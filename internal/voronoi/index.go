@@ -1,0 +1,186 @@
+package voronoi
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Index is a uniform-grid spatial index over a point set, supporting
+// traversal of points in expanding Chebyshev shells around a query site.
+// Combined with the security-radius criterion this yields the
+// nearest-first neighbor stream that drives cell clipping.
+type Index struct {
+	pts     []geom.Vec3
+	ids     []int64
+	bounds  geom.Box
+	dims    [3]int
+	h       geom.Vec3 // cell size per axis
+	buckets [][]int32
+}
+
+// NewIndex builds a grid index over the given points with roughly
+// targetPerCell points per grid cell (pass 0 for the default of 4). IDs are
+// parallel to pts and are reported back by Shell.
+func NewIndex(pts []geom.Vec3, ids []int64, targetPerCell float64) *Index {
+	if len(pts) != len(ids) {
+		panic("voronoi: pts and ids length mismatch")
+	}
+	ix := &Index{pts: pts, ids: ids}
+	if len(pts) == 0 {
+		ix.dims = [3]int{1, 1, 1}
+		ix.bounds = geom.NewBox(geom.V(0, 0, 0), geom.V(1, 1, 1))
+		ix.h = geom.V(1, 1, 1)
+		ix.buckets = make([][]int32, 1)
+		return ix
+	}
+	if targetPerCell <= 0 {
+		targetPerCell = 4
+	}
+	ix.bounds = geom.BoundingBox(pts).Expand(1e-9)
+	size := ix.bounds.Size()
+	// Choose cells so that the expected occupancy is ~targetPerCell.
+	n := float64(len(pts))
+	vol := math.Max(size.X*size.Y*size.Z, 1e-300)
+	cell := math.Cbrt(vol * targetPerCell / n)
+	for a := 0; a < 3; a++ {
+		d := int(math.Ceil(size.Component(a) / cell))
+		if d < 1 {
+			d = 1
+		}
+		if d > 1024 {
+			d = 1024
+		}
+		ix.dims[a] = d
+	}
+	ix.h = geom.Vec3{
+		X: size.X / float64(ix.dims[0]),
+		Y: size.Y / float64(ix.dims[1]),
+		Z: size.Z / float64(ix.dims[2]),
+	}
+	ix.buckets = make([][]int32, ix.dims[0]*ix.dims[1]*ix.dims[2])
+	for i, p := range pts {
+		ix.buckets[ix.bucketOf(p)] = append(ix.buckets[ix.bucketOf(p)], int32(i))
+	}
+	return ix
+}
+
+// NumPoints returns the number of indexed points.
+func (ix *Index) NumPoints() int { return len(ix.pts) }
+
+// MinCellSize returns the smallest grid cell edge, the increment of
+// guaranteed radius per shell.
+func (ix *Index) MinCellSize() float64 {
+	return math.Min(ix.h.X, math.Min(ix.h.Y, ix.h.Z))
+}
+
+// MaxShell returns the largest shell number that can contain any point for
+// a query at p.
+func (ix *Index) MaxShell(p geom.Vec3) int {
+	c := ix.cellCoords(p)
+	m := 0
+	for a := 0; a < 3; a++ {
+		m = max(m, c[a])
+		m = max(m, ix.dims[a]-1-c[a])
+	}
+	return m
+}
+
+func (ix *Index) cellCoords(p geom.Vec3) [3]int {
+	var c [3]int
+	for a := 0; a < 3; a++ {
+		f := (p.Component(a) - ix.bounds.Min.Component(a)) / ix.h.Component(a)
+		i := int(math.Floor(f))
+		if i < 0 {
+			i = 0
+		}
+		if i >= ix.dims[a] {
+			i = ix.dims[a] - 1
+		}
+		c[a] = i
+	}
+	return c
+}
+
+func (ix *Index) bucketOf(p geom.Vec3) int {
+	c := ix.cellCoords(p)
+	return (c[2]*ix.dims[1]+c[1])*ix.dims[0] + c[0]
+}
+
+// ShellPoint is one indexed point with its distance to the query site.
+type ShellPoint struct {
+	Idx  int
+	ID   int64
+	Pos  geom.Vec3
+	Dist float64
+}
+
+// Shell returns the points whose grid cell is at Chebyshev distance exactly
+// s from the cell containing p, sorted by Euclidean distance to p. Shell 0
+// is p's own cell.
+func (ix *Index) Shell(p geom.Vec3, s int) []ShellPoint {
+	c := ix.cellCoords(p)
+	var out []ShellPoint
+	lo := [3]int{c[0] - s, c[1] - s, c[2] - s}
+	hi := [3]int{c[0] + s, c[1] + s, c[2] + s}
+	visit := func(i, j, k int) {
+		if i < 0 || i >= ix.dims[0] || j < 0 || j >= ix.dims[1] || k < 0 || k >= ix.dims[2] {
+			return
+		}
+		for _, pi := range ix.buckets[(k*ix.dims[1]+j)*ix.dims[0]+i] {
+			q := ix.pts[pi]
+			out = append(out, ShellPoint{Idx: int(pi), ID: ix.ids[pi], Pos: q, Dist: q.Dist(p)})
+		}
+	}
+	if s == 0 {
+		visit(c[0], c[1], c[2])
+	} else {
+		// Two full slabs in z, plus the rings of the remaining z layers.
+		for j := lo[1]; j <= hi[1]; j++ {
+			for i := lo[0]; i <= hi[0]; i++ {
+				visit(i, j, lo[2])
+				visit(i, j, hi[2])
+			}
+		}
+		for k := lo[2] + 1; k <= hi[2]-1; k++ {
+			for i := lo[0]; i <= hi[0]; i++ {
+				visit(i, lo[1], k)
+				visit(i, hi[1], k)
+			}
+			for j := lo[1] + 1; j <= hi[1]-1; j++ {
+				visit(lo[0], j, k)
+				visit(hi[0], j, k)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out
+}
+
+// Nearest returns the index, ID, and position of the indexed point nearest
+// to q, scanning grid shells outward until the best candidate is proven
+// nearest (all unscanned cells are farther than the best distance). It
+// returns ok == false for an empty index.
+func (ix *Index) Nearest(q geom.Vec3) (sp ShellPoint, ok bool) {
+	if len(ix.pts) == 0 {
+		return ShellPoint{}, false
+	}
+	h := ix.MinCellSize()
+	best := ShellPoint{Dist: math.Inf(1)}
+	maxShell := ix.MaxShell(q)
+	for s := 0; s <= maxShell; s++ {
+		for _, cand := range ix.Shell(q, s) {
+			if cand.Dist < best.Dist {
+				best = cand
+			}
+			break // shells are sorted: the first entry is the closest
+		}
+		// All points within (s)*h have been scanned after shell s; if the
+		// best found is within that radius, nothing farther can beat it.
+		if best.Dist <= float64(s)*h {
+			return best, true
+		}
+	}
+	return best, !math.IsInf(best.Dist, 1)
+}

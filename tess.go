@@ -1,0 +1,146 @@
+package tess
+
+import (
+	"repro/internal/core"
+	"repro/internal/diy"
+	"repro/internal/geom"
+	"repro/internal/nbody"
+	"repro/internal/voids"
+)
+
+// Particle is a point with a stable global ID (the unit of work the
+// tessellation distributes across blocks).
+type Particle = diy.Particle
+
+// Config controls a tessellation pass; see the field documentation in
+// internal/core. Construct one with NewPeriodicConfig or NewBoundedConfig
+// and adjust as needed.
+type Config = core.Config
+
+// Output is the gathered result of a tessellation: per-block meshes, global
+// cell counts, and slowest-rank phase timings.
+type Output = core.Output
+
+// Timing is the per-phase wall time of a pass (exchange, compute, output).
+type Timing = core.Timing
+
+// CellCounts tracks how many cells were kept, culled, or incomplete.
+type CellCounts = core.CellCounts
+
+// CellSummary is a flattened per-cell row (ID, site, volume, area, faces).
+type CellSummary = core.CellSummary
+
+// AccuracyReport compares a parallel run against a serial reference
+// (Table I's matching-cells metric).
+type AccuracyReport = core.AccuracyReport
+
+// SimConfig configures the built-in particle-mesh N-body simulation (the
+// HACC stand-in); construct one with NewSimConfig.
+type SimConfig = nbody.Config
+
+// Simulation is the N-body simulation driven by in situ analysis.
+type Simulation = nbody.Simulation
+
+// NewSimConfig returns the default simulation configuration for ng^3
+// particles in an ng^3 periodic box, tuned so that ~100 steps follow the
+// paper's structure-formation schedule.
+func NewSimConfig(ng int) SimConfig { return nbody.DefaultConfig(ng) }
+
+// NewSimulation creates a simulation with Zel'dovich initial conditions.
+func NewSimulation(cfg SimConfig) (*Simulation, error) { return nbody.New(cfg) }
+
+// Vec3 is the 3D vector type used throughout the API.
+type Vec3 = geom.Vec3
+
+// Box is an axis-aligned box.
+type Box = geom.Box
+
+// NewPeriodicConfig returns a Config for the cosmology case: a periodic
+// cubic box [0, L)^3 with a ghost size of 4 units (adequate for particle
+// sets at ~1 unit mean spacing, per the paper's accuracy study) and the
+// Quickhull geometry pass enabled.
+func NewPeriodicConfig(L float64) Config {
+	return Config{
+		Domain:    geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L)),
+		Periodic:  true,
+		GhostSize: 4,
+		HullPass:  true,
+	}
+}
+
+// NewBoundedConfig returns a Config for a non-periodic domain; cells
+// touching the domain boundary are reported incomplete and deleted unless
+// KeepIncomplete is set.
+func NewBoundedConfig(domain geom.Box) Config {
+	return Config{
+		Domain:    domain,
+		Periodic:  false,
+		GhostSize: 4,
+		HullPass:  true,
+	}
+}
+
+// Tessellate runs a standalone-mode parallel tessellation of particles
+// over numBlocks blocks (one concurrent rank per block).
+func Tessellate(cfg Config, particles []Particle, numBlocks int) (*Output, error) {
+	return core.Run(cfg, particles, numBlocks)
+}
+
+// CompareAccuracy matches a parallel run's cells against a reference run
+// by particle ID (Table I's metric).
+func CompareAccuracy(reference, parallel []CellSummary, tol float64) AccuracyReport {
+	return core.CompareAccuracy(reference, parallel, tol)
+}
+
+// ParticlesFromPositions wraps raw positions with sequential IDs.
+func ParticlesFromPositions(pos []Vec3) []Particle {
+	out := make([]Particle, len(pos))
+	for i, p := range pos {
+		out[i] = Particle{ID: int64(i), Pos: p}
+	}
+	return out
+}
+
+// ParticlesFromSim snapshots the current particle state of a simulation.
+func ParticlesFromSim(s *nbody.Simulation) []Particle {
+	return ParticlesFromPositions(s.Pos)
+}
+
+// CellRecord is a cell as read back from a tess output file.
+type CellRecord = voids.CellRecord
+
+// VoidComponent is a connected component of large-volume cells — a
+// cosmological void with its Minkowski functionals.
+type VoidComponent = voids.Component
+
+// Minkowski holds the functionals and shapefinders of a void.
+type Minkowski = voids.Minkowski
+
+// ReadTessFile loads every block of a tess output file.
+func ReadTessFile(path string) ([]CellRecord, error) {
+	return voids.ReadTessFile(path)
+}
+
+// FindVoids thresholds cells by minimum volume and groups the survivors
+// into connected components, largest first.
+func FindVoids(cells []CellRecord, minVolume float64) []VoidComponent {
+	return voids.ConnectedComponents(voids.Threshold(cells, minVolume))
+}
+
+// VoidZone is one watershed basin of the Voronoi density field.
+type VoidZone = voids.Zone
+
+// WatershedVoid is a void grown by flooding zones up to a density barrier.
+type WatershedVoid = voids.WatershedVoid
+
+// FindVoidsWatershed segments the cells into density basins (zones) and
+// floods them up to densityBarrier — the ZOBOV/Watershed-Void-Finder
+// approach from the paper's background, as an alternative to the global
+// volume threshold of FindVoids. barrier 0 returns the unmerged zones.
+func FindVoidsWatershed(cells []CellRecord, densityBarrier float64) ([]WatershedVoid, error) {
+	zones, err := voids.Watershed(cells)
+	if err != nil {
+		return nil, err
+	}
+	return voids.FloodZones(cells, zones, densityBarrier), nil
+}
