@@ -1,0 +1,25 @@
+# Build / verification entry points. `make check` is the full gate: vet
+# plus the whole test suite under the race detector, so the intra-rank
+# worker-pool concurrency is race-checked on every run.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+# Headline perf benches: worker-pool scaling and allocation counts.
+bench:
+	$(GO) test -run '^$$' -bench 'ComputeParallelism|ComputeCellAllocs' -benchmem -benchtime 2x .

@@ -9,6 +9,7 @@ package tess
 // evaluation.
 
 import (
+	"math/rand"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -388,4 +389,78 @@ func meanVolume(recs []CellRecord) float64 {
 		sum += r.Volume
 	}
 	return sum / float64(len(recs))
+}
+
+// BenchmarkComputeParallelism measures the intra-rank worker pool on a
+// 32^3-site block: one rank, Workers = 1 vs 4. On a multi-core host the
+// 4-worker variant should run the compute phase at least ~2x faster; on a
+// single-core host (GOMAXPROCS=1) the two are equal up to pool overhead.
+// The compute-phase seconds are reported as a metric alongside the total.
+func BenchmarkComputeParallelism_W1(b *testing.B) { benchParallelism(b, 1) }
+func BenchmarkComputeParallelism_W4(b *testing.B) { benchParallelism(b, 4) }
+
+func benchParallelism(b *testing.B, workers int) {
+	const ng = 32
+	const L = float64(ng)
+	rng := rand.New(rand.NewSource(7))
+	parts := make([]diy.Particle, 0, ng*ng*ng)
+	id := int64(0)
+	for z := 0; z < ng; z++ {
+		for y := 0; y < ng; y++ {
+			for x := 0; x < ng; x++ {
+				parts = append(parts, diy.Particle{ID: id, Pos: geom.V(
+					float64(x)+0.5+(rng.Float64()-0.5)*0.8,
+					float64(y)+0.5+(rng.Float64()-0.5)*0.8,
+					float64(z)+0.5+(rng.Float64()-0.5)*0.8)})
+				id++
+			}
+		}
+	}
+	cfg := NewPeriodicConfig(L)
+	cfg.Workers = workers
+	b.ResetTimer()
+	var compute float64
+	for i := 0; i < b.N; i++ {
+		out, err := core.RunTimed(cfg, parts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		compute = out.Timing.Compute.Seconds()
+	}
+	b.ReportMetric(compute, "compute-s/op")
+}
+
+// BenchmarkComputeCellAllocs isolates the allocation behavior of one cell
+// computation: a fresh Scratch per cell (the ComputeCell path) versus one
+// long-lived Scratch reused across cells. The scratch-reuse variant must
+// allocate at least 5x fewer objects per cell (it performs only the final
+// detach copies, ~3 allocs, against the fresh path's buffer growth).
+func BenchmarkComputeCellAllocs_Fresh(b *testing.B)   { benchCellAllocs(b, false) }
+func BenchmarkComputeCellAllocs_Scratch(b *testing.B) { benchCellAllocs(b, true) }
+
+func benchCellAllocs(b *testing.B, reuse bool) {
+	bench.init(b)
+	pts := make([]geom.Vec3, len(bench.particles))
+	ids := make([]int64, len(bench.particles))
+	for i, p := range bench.particles {
+		pts[i] = p.Pos
+		ids[i] = p.ID
+	}
+	ix := voronoi.NewIndex(pts, ids, 0)
+	scratch := voronoi.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(pts)
+		box := geom.Cube(pts[j], benchL/2)
+		var err error
+		if reuse {
+			_, err = voronoi.ComputeCellScratch(ix, pts[j], ids[j], box, scratch)
+		} else {
+			_, err = voronoi.ComputeCell(ix, pts[j], ids[j], box)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }

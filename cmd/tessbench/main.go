@@ -12,7 +12,7 @@
 // Usage:
 //
 //	tessbench [-sizes 8,16,32] [-procs 1,2,4,8,16] [-steps 12] [-cull 0.1]
-//	          [-scaling] [-datamodel] [-out DIR]
+//	          [-workers N] [-scaling] [-datamodel] [-out DIR]
 package main
 
 import (
@@ -43,6 +43,7 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "also print the Figure 10 strong/weak scaling series")
 		datamodel = flag.Bool("datamodel", false, "also print the Sec. III-C2 data model statistics")
 		outDir    = flag.String("out", "", "directory for tessellation output files (default: temp, deleted)")
+		workers   = flag.Int("workers", 0, "intra-rank compute workers per block (0 = GOMAXPROCS; ranks are timed one at a time so each gets the whole machine)")
 	)
 	flag.Parse()
 
@@ -71,8 +72,8 @@ func main() {
 	fmt.Println("Simulation runs serially (the HACC stand-in is not block-decomposed);")
 	fmt.Println("Sim/P is the ideal P-way split for the in situ cost comparison.")
 	fmt.Println()
-	fmt.Printf("%-10s %-6s %-6s %9s %9s %9s %9s %9s %9s %10s\n",
-		"Particles", "Steps", "Procs", "Sim(s)", "Sim/P(s)", "Tess(s)",
+	fmt.Printf("%-10s %-6s %-6s %-4s %9s %9s %9s %9s %9s %9s %10s\n",
+		"Particles", "Steps", "Procs", "Thr", "Sim(s)", "Sim/P(s)", "Tess(s)",
 		"Exch(s)", "Voro(s)", "Out(s)", "Size(MB)")
 
 	type strongPoint struct {
@@ -101,13 +102,16 @@ func main() {
 				HullPass:   true,
 				MinVolume:  minVol,
 				OutputPath: filepath.Join(dir, fmt.Sprintf("tess-%d-%d.out", ng, p)),
+				Workers:    *workers,
 			}
 			out, err := core.RunTimed(cfg, particles, p)
 			if err != nil {
 				log.Fatalf("ng=%d procs=%d: %v", ng, p, err)
 			}
-			fmt.Printf("%-10s %-6d %-6d %9.2f %9.2f %9.3f %9.3f %9.3f %9.3f %10.2f\n",
-				fmt.Sprintf("%d^3", ng), nsteps, p,
+			// RunTimed times ranks sequentially, so each rank's compute
+			// phase uses EffectiveWorkers(cfg, 1) threads.
+			fmt.Printf("%-10s %-6d %-6d %-4d %9.2f %9.2f %9.3f %9.3f %9.3f %9.3f %10.2f\n",
+				fmt.Sprintf("%d^3", ng), nsteps, p, core.EffectiveWorkers(cfg, 1),
 				simTime.Seconds(), simTime.Seconds()/float64(p),
 				out.Timing.Total.Seconds(), out.Timing.Exchange.Seconds(),
 				out.Timing.Compute.Seconds(), out.Timing.Output.Seconds(),
@@ -136,7 +140,7 @@ func main() {
 			}
 		}
 		fmt.Println()
-		weakScaling(dir, *cull)
+		weakScaling(dir, *cull, *workers)
 	}
 }
 
@@ -217,7 +221,7 @@ func printDataModel(out *core.TimedOutput) {
 
 // weakScaling runs the Figure 10 (right) experiment: fixed particles per
 // process across (8^3, 1), (16^3, 8), (32^3, 64).
-func weakScaling(dir string, cull float64) {
+func weakScaling(dir string, cull float64, workers int) {
 	fmt.Println("FIGURE 10 (right): WEAK SCALING — tessellation time per particle")
 	fmt.Printf("%-10s %-6s %16s %12s\n", "Particles", "Procs", "Tess/np(us)", "Efficiency")
 	type wk struct {
@@ -237,6 +241,7 @@ func weakScaling(dir string, cull float64) {
 			HullPass:   true,
 			MinVolume:  minVol,
 			OutputPath: filepath.Join(dir, fmt.Sprintf("weak-%d.out", s.ng)),
+			Workers:    workers,
 		}
 		out, err := core.RunTimed(cfg, particles, s.procs)
 		if err != nil {

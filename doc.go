@@ -30,6 +30,16 @@
 //		Blocks: 8,
 //	}, nil)
 //
+// # Parallelism
+//
+// Work is parallel on two levels: blocks run as concurrent ranks (the
+// paper's MPI processes), and within each rank the cell-compute phase fans
+// out over Config.Workers goroutines with per-worker reusable scratch
+// buffers, so the clipping kernels allocate almost nothing in steady
+// state. Workers defaults to GOMAXPROCS divided among the concurrent
+// ranks. Results are bit-identical for every worker count: cells are
+// gathered in site order and no cell's arithmetic depends on the fan-out.
+//
 // # Postprocessing
 //
 // Output files are read back with ReadTessFile; FindVoids applies a volume

@@ -63,7 +63,7 @@ func KnownAnalyses() []string { return cosmotools.KnownAnalyses() }
 // until every cell is proven complete or the decomposition's maximum is
 // reached. It returns the output and the ghost size used. A zero
 // cfg.GhostSize starts from an estimate based on the mean interparticle
-// spacing.
+// spacing. cfg.Workers applies to each attempt exactly as in Tessellate.
 func AutoTessellate(cfg Config, particles []Particle, numBlocks int) (*Output, float64, error) {
 	return core.AutoRun(cfg, particles, numBlocks)
 }

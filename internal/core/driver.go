@@ -49,7 +49,10 @@ func (o *Output) labelVoids(threshold float64) {
 // into numBlocks blocks, partitions the particles, spawns one rank per
 // block, and runs the tess pipeline collectively. It is the standalone-mode
 // entry point; in situ callers drive TessellateBlock directly from their
-// simulation ranks.
+// simulation ranks. Each rank's compute phase additionally fans out over
+// Config.Workers goroutines (by default GOMAXPROCS divided among the
+// numBlocks concurrent ranks), forming the ranks x workers hierarchy
+// described in DESIGN.md.
 func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
 	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
 	if err != nil {

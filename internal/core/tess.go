@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/comm"
@@ -65,6 +66,31 @@ type Config struct {
 	// VoidThreshold is the minimum cell volume for void membership when
 	// LabelVoids is set; 0 uses the mean cell volume.
 	VoidThreshold float64
+	// Workers is the number of intra-rank worker goroutines the compute
+	// phase fans cell construction out over. 0 (the default) divides
+	// GOMAXPROCS fairly among the concurrently-running ranks, so a full
+	// parallel run neither oversubscribes nor idles cores. Results are
+	// identical for every worker count.
+	Workers int
+}
+
+// EffectiveWorkers resolves cfg.Workers for a run with concurrentRanks
+// ranks executing at once: an explicit positive setting wins; otherwise
+// GOMAXPROCS is divided fairly among the ranks (never below one worker
+// each). Sequential drivers like RunTimed pass concurrentRanks == 1 and so
+// give each rank's compute phase the whole machine.
+func EffectiveWorkers(cfg Config, concurrentRanks int) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	if concurrentRanks < 1 {
+		concurrentRanks = 1
+	}
+	w := runtime.GOMAXPROCS(0) / concurrentRanks
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Timing is the per-phase wall time of one tessellation pass, reduced to
@@ -139,7 +165,7 @@ func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.
 
 	// Phase 2+3: local cells, completeness, culling, hull pass.
 	t0 = time.Now()
-	res, err := computeBlockCells(block, local, ghosts, cfg)
+	res, err := computeBlockCells(block, local, ghosts, cfg, EffectiveWorkers(cfg, w.Size()))
 	if err != nil {
 		return nil, tm, err
 	}
@@ -166,10 +192,16 @@ func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.
 	return res, tm, nil
 }
 
-// computeBlockCells is the serial compute stage of one block: Voronoi cells
-// for every local site against local+ghost particles, completeness
-// filtering, the two-stage volume cull, and the optional hull pass.
-func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config) (*BlockResult, error) {
+// computeBlockCells is the compute stage of one block: Voronoi cells for
+// every local site against local+ghost particles, completeness filtering,
+// the two-stage volume cull, and the optional hull pass. The per-site loop
+// fans out over a pool of workers goroutines claiming chunks of the site
+// range from an atomic cursor; every worker reuses its own voronoi.Scratch,
+// so the steady state allocates only the cells themselves. The result is
+// independent of the worker count: cells land in per-site slots and are
+// collected in site order, counts are accumulated per worker and summed,
+// and each cell's arithmetic is untouched by the fan-out.
+func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config, workers int) (*BlockResult, error) {
 	all := make([]geom.Vec3, 0, len(local)+len(ghosts))
 	ids := make([]int64, 0, len(local)+len(ghosts))
 	for _, p := range local {
@@ -185,67 +217,100 @@ func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config
 
 	// Early-cull diameter bound: a convex cell with diameter d has volume
 	// at most that of the ball with diameter d (isodiametric inequality),
-	// so any cell with maxPairDiameter below diamCut is safely below
-	// MinVolume.
-	diamCut := 0.0
+	// so any cell whose squared diameter is below diamCut2 is safely below
+	// MinVolume. Comparing squared distances skips a per-cell sqrt.
+	diamCut2 := 0.0
 	if cfg.MinVolume > 0 {
-		diamCut = math.Cbrt(6 * cfg.MinVolume / math.Pi)
+		dc := math.Cbrt(6 * cfg.MinVolume / math.Pi)
+		diamCut2 = dc * dc
 	}
 
-	var counts CellCounts
-	var kept []*voronoi.Cell
-	counts.Sites = int64(len(local))
-	for _, p := range local {
-		cell, err := voronoi.ComputeCell(ix, p.Pos, p.ID, initBox)
-		if err != nil {
-			return nil, fmt.Errorf("core: cell for particle %d: %w", p.ID, err)
+	n := len(local)
+	workers = voronoi.PoolWorkers(workers, n)
+	cells := make([]*voronoi.Cell, n) // per-site slot; nil = culled/deleted
+	errs := make([]error, n)
+	wcounts := make([]CellCounts, workers)
+	scratches := make([]*voronoi.Scratch, workers)
+	voronoi.ParallelFor(n, workers, func(lo, hi, w int) {
+		s := scratches[w]
+		if s == nil {
+			s = voronoi.NewScratch()
+			scratches[w] = s
 		}
-		if !cell.Complete {
-			counts.Incomplete++
-			if !cfg.KeepIncomplete {
+		counts := &wcounts[w]
+		for i := lo; i < hi; i++ {
+			p := local[i]
+			cell, err := voronoi.ComputeCellScratch(ix, p.Pos, p.ID, initBox, s)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: cell for particle %d: %w", p.ID, err)
 				continue
 			}
-		}
-		// Step 3(c): conservative early cull before any exact geometry.
-		if diamCut > 0 && cellDiameter(cell) < diamCut {
-			counts.CulledEarly++
-			continue
-		}
-		vol := cell.Volume()
-		if cfg.HullPass {
-			// The paper's step 3(d): run the convex hull of the cell's
-			// vertices to order faces and derive volume. The hull of a
-			// convex cell's vertices is the cell itself, so this agrees
-			// with the clipping-derived value (asserted by tests); it is
-			// kept as a faithful cost model and a live cross-check.
-			if h, err := qhull.Compute(cell.Verts); err == nil {
-				vol = h.Volume()
+			if !cell.Complete {
+				counts.Incomplete++
+				if !cfg.KeepIncomplete {
+					continue
+				}
 			}
+			// Step 3(c): conservative early cull before any exact geometry.
+			if diamCut2 > 0 && cellDiameter2(cell) < diamCut2 {
+				counts.CulledEarly++
+				continue
+			}
+			vol := cell.Volume()
+			if cfg.HullPass {
+				// The paper's step 3(d): run the convex hull of the cell's
+				// vertices to order faces and derive volume. The hull of a
+				// convex cell's vertices is the cell itself, so this agrees
+				// with the clipping-derived value (asserted by tests); it is
+				// kept as a faithful cost model and a live cross-check.
+				if h, err := qhull.Compute(cell.Verts); err == nil {
+					vol = h.Volume()
+				}
+			}
+			if cfg.MinVolume > 0 && vol < cfg.MinVolume {
+				counts.CulledExact++
+				continue
+			}
+			if cfg.MaxVolume > 0 && vol > cfg.MaxVolume {
+				counts.CulledExact++
+				continue
+			}
+			counts.Kept++
+			cells[i] = cell
 		}
-		if cfg.MinVolume > 0 && vol < cfg.MinVolume {
-			counts.CulledExact++
-			continue
+	})
+	for _, err := range errs { // first error by site index, like the serial loop
+		if err != nil {
+			return nil, err
 		}
-		if cfg.MaxVolume > 0 && vol > cfg.MaxVolume {
-			counts.CulledExact++
-			continue
+	}
+	counts := CellCounts{Sites: int64(n)}
+	for _, wc := range wcounts {
+		counts.Incomplete += wc.Incomplete
+		counts.CulledEarly += wc.CulledEarly
+		counts.CulledExact += wc.CulledExact
+		counts.Kept += wc.Kept
+	}
+	kept := make([]*voronoi.Cell, 0, counts.Kept)
+	for _, c := range cells {
+		if c != nil {
+			kept = append(kept, c)
 		}
-		counts.Kept++
-		kept = append(kept, cell)
 	}
 	mesh := meshio.BuildBlockMesh(kept, block.Bounds, 0)
 	return &BlockResult{Mesh: mesh, Counts: counts, Ghosts: len(ghosts)}, nil
 }
 
-// cellDiameter returns the maximum pairwise vertex distance.
-func cellDiameter(c *voronoi.Cell) float64 {
+// cellDiameter2 returns the maximum squared pairwise vertex distance, for
+// comparison against a squared cutoff without the sqrt.
+func cellDiameter2(c *voronoi.Cell) float64 {
 	var m float64
 	for i := 0; i < len(c.Verts); i++ {
 		for j := i + 1; j < len(c.Verts); j++ {
 			m = math.Max(m, c.Verts[i].Dist2(c.Verts[j]))
 		}
 	}
-	return math.Sqrt(m)
+	return m
 }
 
 // ReduceTiming combines per-rank timings into the slowest-rank view and

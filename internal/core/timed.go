@@ -58,7 +58,9 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 		out.PerRankExchange[rank] = time.Since(t0)
 
 		t0 = time.Now()
-		res, err := computeBlockCells(d.Block(rank), parts[rank], ghosts, cfg)
+		// Ranks run one at a time here, so each one's compute phase may use
+		// the whole machine (concurrentRanks == 1).
+		res, err := computeBlockCells(d.Block(rank), parts[rank], ghosts, cfg, EffectiveWorkers(cfg, 1))
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d: %w", rank, err)
 		}

@@ -2,9 +2,7 @@ package voronoi
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/geom"
 )
@@ -20,7 +18,20 @@ import (
 // as does exhausting the index before the security radius is reached. The
 // site itself (any indexed point within ~0 distance of it) is skipped.
 func ComputeCell(ix *Index, site geom.Vec3, id int64, initBox geom.Box) (*Cell, error) {
-	cell, err := NewCellBox(site, id, initBox)
+	return ComputeCellScratch(ix, site, id, initBox, nil)
+}
+
+// ComputeCellScratch is ComputeCell with caller-provided scratch storage:
+// every vertex, face, and loop buffer of the clipping kernel is reused
+// from s, so computing many cells through one Scratch allocates almost
+// nothing per cell. A nil s uses fresh storage and is equivalent to
+// ComputeCell. The returned cell owns its memory (it never aliases s) and
+// is bit-identical to the scratch-free result for the same inputs.
+func ComputeCellScratch(ix *Index, site geom.Vec3, id int64, initBox geom.Box, s *Scratch) (*Cell, error) {
+	if s == nil {
+		s = NewScratch()
+	}
+	cell, err := newCellBoxIn(site, id, initBox, s)
 	if err != nil {
 		return nil, err
 	}
@@ -29,10 +40,10 @@ func ComputeCell(ix *Index, site geom.Vec3, id int64, initBox geom.Box) (*Cell, 
 	secure := false
 	siteEps := 1e-12 * initBox.Size().MaxAbs()
 
-	for s := 0; s <= maxShell; s++ {
-		pts := ix.Shell(site, s)
+	for sh := 0; sh <= maxShell; sh++ {
+		s.shell = ix.ShellAppend(site, sh, s.shell[:0])
 		maxR := cell.MaxVertexDist()
-		for _, sp := range pts {
+		for _, sp := range s.shell {
 			if sp.Dist <= siteEps {
 				continue // the site itself
 			}
@@ -42,20 +53,22 @@ func ComputeCell(ix *Index, site geom.Vec3, id int64, initBox geom.Box) (*Cell, 
 			if sp.Dist >= 2*maxR {
 				break
 			}
-			if cell.Clip(geom.Bisector(site, sp.Pos), sp.ID) {
+			if cell.clip(geom.Bisector(site, sp.Pos), sp.ID, s) {
 				if cell.Empty() {
+					cell.detach()
 					return cell, fmt.Errorf("voronoi: cell of site %v emptied by %v (duplicate points?)", site, sp.Pos)
 				}
 				maxR = cell.MaxVertexDist()
 			}
 		}
 		// All points within s*h are guaranteed processed after shell s.
-		if float64(s)*h >= 2*cell.MaxVertexDist() {
+		if float64(sh)*h >= 2*cell.MaxVertexDist() {
 			secure = true
 			break
 		}
 	}
 	cell.Complete = secure && !cell.HasWall()
+	cell.detach()
 	return cell, nil
 }
 
@@ -66,7 +79,8 @@ func ComputeCell(ix *Index, site geom.Vec3, id int64, initBox geom.Box) (*Cell, 
 // redundant work. It exists to quantify what the security-radius criterion
 // buys (BenchmarkAblationSecurityRadius).
 func ComputeCellFixedShells(ix *Index, site geom.Vec3, id int64, initBox geom.Box, shells int) (*Cell, error) {
-	cell, err := NewCellBox(site, id, initBox)
+	s := NewScratch()
+	cell, err := newCellBoxIn(site, id, initBox, s)
 	if err != nil {
 		return nil, err
 	}
@@ -75,18 +89,21 @@ func ComputeCellFixedShells(ix *Index, site geom.Vec3, id int64, initBox geom.Bo
 	if shells > maxShell {
 		shells = maxShell
 	}
-	for s := 0; s <= shells; s++ {
-		for _, sp := range ix.Shell(site, s) {
+	for sh := 0; sh <= shells; sh++ {
+		s.shell = ix.ShellAppend(site, sh, s.shell[:0])
+		for _, sp := range s.shell {
 			if sp.Dist <= siteEps {
 				continue
 			}
-			cell.Clip(geom.Bisector(site, sp.Pos), sp.ID)
+			cell.clip(geom.Bisector(site, sp.Pos), sp.ID, s)
 			if cell.Empty() {
+				cell.detach()
 				return cell, fmt.Errorf("voronoi: cell of site %v emptied (duplicate points?)", site)
 			}
 		}
 	}
 	cell.Complete = !cell.HasWall() // no proof; walls are the only signal
+	cell.detach()
 	return cell, nil
 }
 
@@ -96,7 +113,8 @@ func ComputeCellFixedShells(ix *Index, site geom.Vec3, id int64, initBox geom.Bo
 // range. Identical output to ComputeCell, O(n log n) per cell
 // (BenchmarkAblationNeighborSearch).
 func ComputeCellBrute(pts []geom.Vec3, ids []int64, site geom.Vec3, id int64, initBox geom.Box) (*Cell, error) {
-	cell, err := NewCellBox(site, id, initBox)
+	s := NewScratch()
+	cell, err := newCellBoxIn(site, id, initBox, s)
 	if err != nil {
 		return nil, err
 	}
@@ -119,8 +137,9 @@ func ComputeCellBrute(pts []geom.Vec3, ids []int64, site geom.Vec3, id int64, in
 			secure = true
 			break
 		}
-		cell.Clip(geom.Bisector(site, pts[o.idx]), ids[o.idx])
+		cell.clip(geom.Bisector(site, pts[o.idx]), ids[o.idx], s)
 		if cell.Empty() {
+			cell.detach()
 			return cell, fmt.Errorf("voronoi: cell of site %v emptied (duplicate points?)", site)
 		}
 	}
@@ -130,6 +149,7 @@ func ComputeCellBrute(pts []geom.Vec3, ids []int64, site geom.Vec3, id int64, in
 		secure = true
 	}
 	cell.Complete = secure && !cell.HasWall()
+	cell.detach()
 	return cell, nil
 }
 
@@ -145,7 +165,8 @@ func ComputeCellBrute(pts []geom.Vec3, ids []int64, site geom.Vec3, id int64, in
 // interest (cells spanning a quarter of the box would be required to break
 // it, and such cells are flagged Complete == false rather than silently
 // wrong). workers sets the number of concurrent cell builders (0 means
-// GOMAXPROCS).
+// GOMAXPROCS); each worker reuses its own Scratch, and the result is
+// independent of the worker count.
 func ComputePeriodic(pts []geom.Vec3, ids []int64, L float64, margin float64, workers int) ([]*Cell, error) {
 	if len(pts) != len(ids) {
 		return nil, fmt.Errorf("voronoi: %d points but %d ids", len(pts), len(ids))
@@ -183,25 +204,18 @@ func ComputePeriodic(pts []geom.Vec3, ids []int64, L float64, margin float64, wo
 
 	cells := make([]*Cell, len(pts))
 	errs := make([]error, len(pts))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				cells[i], errs[i] = ComputeCell(ix, pts[i], ids[i], geom.Cube(pts[i], L/2))
-			}
-		}()
-	}
-	for i := range pts {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	workers = PoolWorkers(workers, len(pts))
+	scratches := make([]*Scratch, workers)
+	ParallelFor(len(pts), workers, func(lo, hi, w int) {
+		s := scratches[w]
+		if s == nil {
+			s = NewScratch()
+			scratches[w] = s
+		}
+		for i := lo; i < hi; i++ {
+			cells[i], errs[i] = ComputeCellScratch(ix, pts[i], ids[i], geom.Cube(pts[i], L/2), s)
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

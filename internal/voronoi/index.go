@@ -2,7 +2,6 @@ package voronoi
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/geom"
 )
@@ -61,7 +60,8 @@ func NewIndex(pts []geom.Vec3, ids []int64, targetPerCell float64) *Index {
 	}
 	ix.buckets = make([][]int32, ix.dims[0]*ix.dims[1]*ix.dims[2])
 	for i, p := range pts {
-		ix.buckets[ix.bucketOf(p)] = append(ix.buckets[ix.bucketOf(p)], int32(i))
+		b := ix.bucketOf(p)
+		ix.buckets[b] = append(ix.buckets[b], int32(i))
 	}
 	return ix
 }
@@ -120,8 +120,16 @@ type ShellPoint struct {
 // s from the cell containing p, sorted by Euclidean distance to p. Shell 0
 // is p's own cell.
 func (ix *Index) Shell(p geom.Vec3, s int) []ShellPoint {
+	return ix.ShellAppend(p, s, nil)
+}
+
+// ShellAppend is Shell appending into buf, which the caller may recycle
+// across queries (pass buf[:0]) to make shell traversal allocation-free
+// once the buffer has grown to the working-set size.
+func (ix *Index) ShellAppend(p geom.Vec3, s int, buf []ShellPoint) []ShellPoint {
 	c := ix.cellCoords(p)
-	var out []ShellPoint
+	out := buf
+	base := len(out)
 	lo := [3]int{c[0] - s, c[1] - s, c[2] - s}
 	hi := [3]int{c[0] + s, c[1] + s, c[2] + s}
 	visit := func(i, j, k int) {
@@ -154,8 +162,65 @@ func (ix *Index) Shell(p geom.Vec3, s int) []ShellPoint {
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	sortShellPoints(out[base:])
 	return out
+}
+
+// sortShellPoints sorts by ascending Dist without the sort.Slice closure
+// allocation: quicksort with median-of-three pivots, insertion sort below a
+// small cutoff. Ties keep a deterministic order because the visit order
+// feeding the sort is itself deterministic and the algorithm's swap
+// sequence depends only on the Dist values.
+func sortShellPoints(a []ShellPoint) {
+	for len(a) > 12 {
+		// Median of first, middle, last as pivot, swapped to a[0].
+		m := len(a) / 2
+		lo, mid, hi := 0, m, len(a)-1
+		if a[mid].Dist < a[lo].Dist {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi].Dist < a[lo].Dist {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi].Dist < a[mid].Dist {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		a[lo], a[mid] = a[mid], a[lo]
+		pivot := a[lo].Dist
+		i, j := 1, len(a)-1
+		for {
+			for i <= j && a[i].Dist < pivot {
+				i++
+			}
+			for i <= j && a[j].Dist > pivot {
+				j--
+			}
+			if i > j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+		a[lo], a[j] = a[j], a[lo]
+		// Recurse into the smaller side, loop on the larger.
+		if j < len(a)-1-j {
+			sortShellPoints(a[:j])
+			a = a[j+1:]
+		} else {
+			sortShellPoints(a[j+1:])
+			a = a[:j]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j].Dist > v.Dist {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }
 
 // Nearest returns the index, ID, and position of the indexed point nearest

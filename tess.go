@@ -81,9 +81,19 @@ func NewBoundedConfig(domain geom.Box) Config {
 }
 
 // Tessellate runs a standalone-mode parallel tessellation of particles
-// over numBlocks blocks (one concurrent rank per block).
+// over numBlocks blocks (one concurrent rank per block). Within each rank
+// the compute phase additionally fans out over Config.Workers goroutines
+// (0, the default, divides GOMAXPROCS among the concurrent ranks); the
+// output is identical for every worker count.
 func Tessellate(cfg Config, particles []Particle, numBlocks int) (*Output, error) {
 	return core.Run(cfg, particles, numBlocks)
+}
+
+// EffectiveWorkers reports the intra-rank worker count a tessellation pass
+// would use when concurrentRanks ranks run at once: cfg.Workers if set,
+// otherwise GOMAXPROCS divided fairly among the ranks.
+func EffectiveWorkers(cfg Config, concurrentRanks int) int {
+	return core.EffectiveWorkers(cfg, concurrentRanks)
 }
 
 // CompareAccuracy matches a parallel run's cells against a reference run
