@@ -1,10 +1,12 @@
-# Build / verification entry points. `make check` is the full gate: vet
-# plus the whole test suite under the race detector, so the intra-rank
-# worker-pool concurrency is race-checked on every run.
+# Build / verification entry points. `make check` is the full gate: vet,
+# the repo's own static analyzers (cmd/tesslint), and the whole test suite
+# under the race detector, so both the intra-rank worker-pool concurrency
+# and the rank-isolation/determinism/hot-path invariants are checked on
+# every run.
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet lint race check bench
 
 build:
 	$(GO) build ./...
@@ -15,10 +17,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/tesslint ./...
+
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: vet lint race
 
 # Headline perf benches: worker-pool scaling and allocation counts.
 bench:

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the CLI to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cleanSrc = `package scratchmod
+
+func Keys(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`
+
+const violatingSrc = `package scratchmod
+
+func Keys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`
+
+func TestInjectedViolationFails(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.23\n",
+		"bad.go": violatingSrc,
+	})
+	var out, errOut strings.Builder
+	if got := run([]string{"-C", dir, "./..."}, &out, &errOut); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", got, errOut.String())
+	}
+	if !strings.Contains(out.String(), "bad.go:") || !strings.Contains(out.String(), "[maporder]") {
+		t.Errorf("output missing file:line or analyzer tag:\n%s", out.String())
+	}
+}
+
+func TestCleanModulePasses(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module scratchmod\n\ngo 1.23\n",
+		"clean.go": cleanSrc,
+	})
+	var out, errOut strings.Builder
+	if got := run([]string{"-C", dir, "./..."}, &out, &errOut); got != 0 {
+		t.Fatalf("exit = %d, want 0; output: %s%s", got, out.String(), errOut.String())
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.23\n",
+		"bad.go": violatingSrc,
+	})
+	var out, errOut strings.Builder
+	// The violation is maporder's; running only sendalias must pass.
+	if got := run([]string{"-C", dir, "-run", "sendalias", "./..."}, &out, &errOut); got != 0 {
+		t.Fatalf("exit = %d, want 0; output: %s%s", got, out.String(), errOut.String())
+	}
+	if got := run([]string{"-C", dir, "-run", "nosuch", "./..."}, &out, &errOut); got != 2 {
+		t.Fatalf("unknown analyzer: exit = %d, want 2", got)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if got := run([]string{"-list"}, &out, &errOut); got != 0 {
+		t.Fatalf("exit = %d, want 0", got)
+	}
+	for _, name := range []string{"hotalloc", "maporder", "scratchretain", "sendalias"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

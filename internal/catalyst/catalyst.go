@@ -9,8 +9,9 @@ package catalyst
 
 import (
 	"encoding/json"
+	"maps"
 	"net/http"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cosmotools"
@@ -100,11 +101,7 @@ func (s *Server) Handler() http.Handler {
 			latest[r.Analysis] = r
 		}
 		s.mu.RUnlock()
-		names := make([]string, 0, len(latest))
-		for n := range latest {
-			names = append(names, n)
-		}
-		sort.Strings(names)
+		names := slices.Sorted(maps.Keys(latest))
 		out := make([]resultJSON, 0, len(names))
 		for _, n := range names {
 			out = append(out, toJSON(latest[n]))
@@ -118,11 +115,7 @@ func (s *Server) Handler() http.Handler {
 			seen[r.Analysis] = true
 		}
 		s.mu.RUnlock()
-		names := make([]string, 0, len(seen))
-		for n := range seen {
-			names = append(names, n)
-		}
-		sort.Strings(names)
+		names := slices.Sorted(maps.Keys(seen))
 		writeJSON(w, names)
 	})
 	return mux

@@ -12,7 +12,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"maps"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -139,11 +140,10 @@ func (s *Section) UnknownKeys(allowed ...string) []string {
 		ok[k] = true
 	}
 	var bad []string
-	for k := range s.Params {
+	for _, k := range slices.Sorted(maps.Keys(s.Params)) {
 		if !ok[k] {
 			bad = append(bad, k)
 		}
 	}
-	sort.Strings(bad)
 	return bad
 }

@@ -2,7 +2,8 @@ package cosmotools
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"time"
 
 	"repro/internal/nbody"
@@ -55,12 +56,7 @@ var registry = map[string]builder{
 
 // KnownAnalyses lists the registered analysis names.
 func KnownAnalyses() []string {
-	var out []string
-	for k := range registry {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return slices.Sorted(maps.Keys(registry))
 }
 
 // Pipeline drives a set of analyses over a simulation run, mirroring the

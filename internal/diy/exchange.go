@@ -1,6 +1,9 @@
 package diy
 
 import (
+	"maps"
+	"slices"
+
 	"repro/internal/comm"
 	"repro/internal/geom"
 )
@@ -57,12 +60,15 @@ func ExchangeGhost(w *comm.World, d *Decomposition, rank int, local []Particle, 
 	}
 
 	// Post all sends, then receive one message from every rank we are
-	// linked to. Buffered channels in comm make this deadlock-free.
-	for dst := range perRank {
+	// linked to. Buffered channels in comm make this deadlock-free. Drain
+	// in ascending rank order: ranging over the map directly would
+	// randomize the ghost concatenation order run to run.
+	ranks := slices.Sorted(maps.Keys(perRank))
+	for _, dst := range ranks {
 		w.Send(rank, dst, tagExchange, perRank[dst])
 	}
 	var ghosts []Particle
-	for src := range perRank {
+	for _, src := range ranks {
 		batch := w.Recv(rank, src, tagExchange).([]Particle)
 		ghosts = append(ghosts, batch...)
 	}
@@ -130,12 +136,13 @@ func BroadcastExchange(w *comm.World, d *Decomposition, rank int, local []Partic
 		}
 		perRank[nb.Rank] = append(perRank[nb.Rank], shifted...)
 	}
-	for dst := range perRank {
+	ranks := slices.Sorted(maps.Keys(perRank))
+	for _, dst := range ranks {
 		w.Send(rank, dst, tagExchange, perRank[dst])
 	}
 	var ghosts []Particle
 	mine := myBounds.Expand(ghost)
-	for src := range perRank {
+	for _, src := range ranks {
 		batch := w.Recv(rank, src, tagExchange).([]Particle)
 		for _, p := range batch {
 			if mine.Contains(p.Pos) {

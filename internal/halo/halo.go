@@ -9,7 +9,9 @@ package halo
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/cosmo"
@@ -149,7 +151,8 @@ func Find(pos []geom.Vec3, cfg Config) ([]Halo, error) {
 		groups[r] = append(groups[r], i)
 	}
 	var halos []Halo
-	for _, members := range groups {
+	for _, r := range slices.Sorted(maps.Keys(groups)) {
+		members := groups[r]
 		if len(members) < minMembers {
 			continue
 		}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range statements over maps whose bodies are sensitive to
+// iteration order: appending to a slice that outlives the loop, calling
+// into the comm package (message order and collective call order must
+// match across ranks), or accumulating floating-point values (addition is
+// not associative, so the sum depends on visit order). Go randomizes map
+// iteration per run, so any of these silently breaks the byte-identical
+// mesh guarantee that the Workers-{1,2,8} determinism tests pin down —
+// but only on the runs the tests don't see. Ranging over maps.Keys or
+// maps.Values is the same hazard and is treated identically; iterate
+// slices.Sorted(maps.Keys(m)) instead.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not influence output, messages, or float accumulation",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !rangesOverMap(p, rng) {
+				return true
+			}
+			checkMapRangeBody(p, rng)
+			return true
+		})
+	}
+}
+
+// rangesOverMap reports whether rng iterates a map, or the unsorted
+// maps.Keys/maps.Values iterators over one.
+func rangesOverMap(p *Pass, rng *ast.RangeStmt) bool {
+	t := p.TypeOf(rng.X)
+	if t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	call, ok := ast.Unparen(rng.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Keys" && sel.Sel.Name != "Values") {
+		return false
+	}
+	obj := p.ObjectOf(sel.Sel)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "maps"
+}
+
+func checkMapRangeBody(p *Pass, rng *ast.RangeStmt) {
+	var appendSeen, commSeen, floatSeen bool
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if !commSeen && commCall(p, x) {
+				commSeen = true
+				p.Reportf(rng.Pos(),
+					"comm call on line %d inside map iteration: message and collective order would vary per run",
+					p.Fset.Position(x.Pos()).Line)
+			}
+			if !appendSeen && isBuiltin(p, x, "append") && len(x.Args) > 0 {
+				if r := rootIdent(x.Args[0]); r != nil {
+					obj := p.ObjectOf(r)
+					if obj != nil && !declaredWithin(obj, rng.Body) {
+						appendSeen = true
+						p.Reportf(rng.Pos(),
+							"map iteration appends to %s, which outlives the loop: element order would vary per run",
+							r.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if floatSeen {
+				return true
+			}
+			switch x.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			default:
+				return true
+			}
+			lhs := x.Lhs[0]
+			t := p.TypeOf(lhs)
+			if t == nil {
+				return true
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsFloat == 0 {
+				return true
+			}
+			if r := rootIdent(lhs); r != nil {
+				obj := p.ObjectOf(r)
+				if obj != nil && !declaredWithin(obj, rng.Body) {
+					floatSeen = true
+					p.Reportf(rng.Pos(),
+						"map iteration accumulates float %s: non-associative addition makes the result order-dependent",
+						r.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ScratchRetain guards the boundary of the scratch-arena pattern: while a
+// cell is being built its storage may alias a Scratch (that is the whole
+// point of the zero-allocation kernel), but a reference into a
+// Scratch-owned buffer must never outlive the function that borrowed it —
+// the next cell computed through the same Scratch overwrites those
+// buffers in place. Returning s.buf (directly, re-sliced, through a local
+// alias, or wrapped in a composite literal) or storing it into a
+// package-level variable publishes memory that is about to be silently
+// rewritten; detach into owned storage instead, the way ComputeCellScratch
+// does before handing a cell out.
+//
+// Any named type called Scratch is treated as a scratch arena, so the
+// invariant transfers to future per-worker scratch types, not just
+// voronoi.Scratch.
+var ScratchRetain = &Analyzer{
+	Name: "scratchretain",
+	Doc:  "references into Scratch-owned buffers must not escape the borrowing function",
+	Run:  runScratchRetain,
+}
+
+func runScratchRetain(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, fs := range funcScopes(p, file) {
+			checkScratchScope(p, fs)
+		}
+	}
+}
+
+func checkScratchScope(p *Pass, fs funcScope) {
+	tainted := scratchTaint(p, fs)
+	if tainted == nil {
+		return // no Scratch in sight: the common case, skip the walk
+	}
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			if len(st.Results) == 0 {
+				for obj := range fs.results {
+					if tainted[obj] {
+						p.Reportf(st.Pos(),
+							"bare return publishes %s, which references a Scratch-owned buffer; detach into owned memory first",
+							obj.Name())
+					}
+				}
+				return true
+			}
+			for _, res := range st.Results {
+				if scratchRooted(p, res, tainted) && referencesEscape(p, res) {
+					p.Reportf(st.Pos(),
+						"returning a reference into a Scratch-owned buffer; the next cell through this scratch overwrites it (detach into owned memory)")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				root := rootIdent(lhs)
+				if root == nil {
+					continue
+				}
+				obj := p.ObjectOf(root)
+				if obj == nil || obj.Parent() != p.Pkg.Types.Scope() {
+					continue // only package-level stores escape unconditionally
+				}
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				}
+				if rhs != nil && scratchRooted(p, rhs, tainted) && referencesEscape(p, rhs) {
+					p.Reportf(st.Pos(),
+						"storing a reference into a Scratch-owned buffer in package-level %s; it will be overwritten by the next cell",
+						root.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scratchTaint computes the set of local objects holding references into
+// Scratch-owned buffers, iterating assignments to a fixpoint. It returns
+// nil when the function cannot see a Scratch at all.
+func scratchTaint(p *Pass, fs funcScope) map[types.Object]bool {
+	sawScratch := false
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && isScratchType(p.TypeOf(sel.X)) {
+			sawScratch = true
+		}
+		return !sawScratch
+	})
+	if !sawScratch {
+		return nil
+	}
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		inspectShallow(fs.body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.ObjectOf(id)
+					if obj == nil || tainted[obj] {
+						continue
+					}
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					}
+					if rhs != nil && scratchRooted(p, rhs, tainted) && referencesEscape(p, rhs) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					obj := p.ObjectOf(name)
+					if obj == nil || tainted[obj] || i >= len(st.Values) {
+						continue
+					}
+					if scratchRooted(p, st.Values[i], tainted) && referencesEscape(p, st.Values[i]) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// scratchRooted reports whether e is a reference into a Scratch-owned
+// buffer: a selector chain passing through a Scratch-typed value, a
+// tainted local, derivations of either (slicing, indexing, address-of,
+// append growth), or a composite literal embedding one.
+func scratchRooted(p *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.ObjectOf(x)
+		return obj != nil && tainted[obj]
+	case *ast.SelectorExpr:
+		if isScratchType(p.TypeOf(x.X)) {
+			return true
+		}
+		return scratchRooted(p, x.X, tainted)
+	case *ast.IndexExpr:
+		return scratchRooted(p, x.X, tainted)
+	case *ast.SliceExpr:
+		return scratchRooted(p, x.X, tainted)
+	case *ast.StarExpr:
+		return scratchRooted(p, x.X, tainted)
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && scratchRooted(p, x.X, tainted)
+	case *ast.CallExpr:
+		if isBuiltin(p, x, "append") && len(x.Args) > 0 {
+			return scratchRooted(p, x.Args[0], tainted)
+		}
+		return false // function results are owned by convention
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if scratchRooted(p, el, tainted) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// referencesEscape reports whether e's value can carry a live reference
+// (len(s.buf) or s.buf[0] are plain values and cannot).
+func referencesEscape(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return t != nil && hasReference(t)
+}
+
+// isScratchType reports whether t (or its pointee) is a named type called
+// Scratch, in any package.
+func isScratchType(t types.Type) bool {
+	n := namedType(t)
+	return n != nil && n.Obj().Name() == "Scratch"
+}

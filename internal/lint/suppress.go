@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int // the line the comment ends on; it covers this line and the next
+	analyzers []string
+	reason    string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores parses every //lint:ignore directive in pkg. Malformed
+// directives (no analyzer, or no reason) are reported as diagnostics of
+// the pseudo-analyzer "lint" so they cannot silently suppress nothing.
+func collectIgnores(pkg *Package, sink *[]Diagnostic) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				end := pkg.Fset.Position(c.End())
+				if len(fields) < 2 {
+					*sink = append(*sink, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore directive: need an analyzer name and a reason",
+					})
+					continue
+				}
+				out = append(out, ignoreDirective{
+					file:      end.Filename,
+					line:      end.Line,
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by one of the directives: same
+// file, directive on d's line or the line above, and a matching analyzer
+// name (or "all").
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, ig := range dirs {
+		if ig.file != d.Pos.Filename {
+			continue
+		}
+		if ig.line != d.Pos.Line && ig.line != d.Pos.Line-1 {
+			continue
+		}
+		for _, name := range ig.analyzers {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

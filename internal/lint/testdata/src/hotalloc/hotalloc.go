@@ -1,0 +1,79 @@
+// Package hotalloc exercises the hotalloc analyzer. The package opts in
+// via the //tess:hotpath marker below, the same way voronoi, qhull, and
+// geom do.
+//
+//tess:hotpath
+package hotalloc
+
+import "sort"
+
+// Scratch is the sanctioned amortized-reuse arena; any type with this
+// name is exempt from the loop-append rule.
+type Scratch struct {
+	buf []float64
+}
+
+type node struct {
+	vals []int
+}
+
+func sortClosure(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice allocates its less-closure`
+}
+
+func mapPerIteration(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		seen := make(map[int]bool, 4) // want `make\(map\) inside a loop`
+		seen[i] = true
+		total += len(seen)
+	}
+	return total
+}
+
+func mapLiteralPerIteration(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := map[int]int{i: i} // want `map literal allocated inside a loop`
+		total += len(m)
+	}
+	return total
+}
+
+func loopBornAppend(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		var tmp []int
+		for j := 0; j < i; j++ {
+			tmp = append(tmp, j) // want `append to tmp, born inside this loop`
+		}
+		total += len(tmp)
+	}
+	return total
+}
+
+// A slice hoisted out of the loop grows once and is reused.
+func hoisted(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Scratch-owned buffers amortize across calls by design.
+func viaScratch(s *Scratch, n int) int {
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, float64(i))
+	}
+	return len(s.buf)
+}
+
+// Growth through a pointer lives in the pointee, which outlives the loop
+// variable holding the pointer.
+func viaPointer(nodes []*node, v int) {
+	for _, nd := range nodes {
+		nd.vals = append(nd.vals, v)
+	}
+}

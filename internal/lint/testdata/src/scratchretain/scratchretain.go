@@ -1,0 +1,50 @@
+// Package scratchretain exercises the scratchretain analyzer: references
+// into Scratch-owned buffers must not outlive the borrowing function.
+package scratchretain
+
+// Scratch is a per-worker reusable arena; the analyzer treats any type
+// with this name as one.
+type Scratch struct {
+	verts []float64
+	loops [][]int
+}
+
+var published []float64
+
+// Detaching into owned memory is the sanctioned way out.
+func detach(s *Scratch) []float64 {
+	out := make([]float64, len(s.verts))
+	copy(out, s.verts)
+	return out
+}
+
+// Plain values read out of a scratch carry no reference.
+func head(s *Scratch) float64 {
+	return s.verts[0]
+}
+
+func leakDirect(s *Scratch) []float64 {
+	return s.verts // want `returning a reference into a Scratch-owned buffer`
+}
+
+func leakResliced(s *Scratch) []float64 {
+	return s.verts[:2] // want `returning a reference into a Scratch-owned buffer`
+}
+
+func leakAlias(s *Scratch) []float64 {
+	v := s.verts
+	return v // want `returning a reference into a Scratch-owned buffer`
+}
+
+func leakWrapped(s *Scratch) [][]int {
+	return [][]int{s.loops[0]} // want `returning a reference into a Scratch-owned buffer`
+}
+
+func leakNamed(s *Scratch) (out []float64) {
+	out = s.verts
+	return // want `bare return publishes out`
+}
+
+func leakGlobal(s *Scratch) {
+	published = s.verts // want `storing a reference into a Scratch-owned buffer in package-level published`
+}

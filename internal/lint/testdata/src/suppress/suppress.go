@@ -1,0 +1,47 @@
+// Package suppress exercises //lint:ignore directive handling against the
+// maporder analyzer.
+package suppress
+
+func suppressedAbove(m map[string]int) []string {
+	var keys []string
+	//lint:ignore maporder dump order is cosmetic in this diagnostic helper
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func suppressedSameLine(m map[string]int) []string {
+	var keys []string
+	for k := range m { //lint:ignore maporder dump order is cosmetic in this diagnostic helper
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func suppressedAll(m map[string]int) []string {
+	var keys []string
+	//lint:ignore all benchmark-only helper, order never observed
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// A directive naming a different analyzer does not cover the finding.
+func wrongAnalyzer(m map[string]int) []string {
+	var keys []string
+	//lint:ignore hotalloc names the wrong analyzer
+	for k := range m { // want `appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func notSuppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}

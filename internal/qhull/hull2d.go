@@ -2,7 +2,6 @@ package qhull
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/geom"
 )
@@ -20,12 +19,7 @@ type Point2 struct {
 // the distinct points in sorted order.
 func Hull2D(pts []Point2) []Point2 {
 	s := append([]Point2(nil), pts...)
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].X != s[j].X {
-			return s[i].X < s[j].X
-		}
-		return s[i].Y < s[j].Y
-	})
+	sortPoints2(s)
 	// Dedupe.
 	uniq := s[:0]
 	for i, p := range s {
@@ -157,4 +151,65 @@ func dropCollinear(poly []Point2, tol float64) []Point2 {
 		}
 	}
 	return out
+}
+
+// lessPoint2 orders points lexicographically by (X, Y).
+func lessPoint2(a, b Point2) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// sortPoints2 sorts lexicographically without the sort.Slice closure
+// allocation (the hull sits on the per-cell hot path): quicksort with
+// median-of-three pivots, insertion sort below a small cutoff.
+func sortPoints2(a []Point2) {
+	for len(a) > 12 {
+		lo, mid, hi := 0, len(a)/2, len(a)-1
+		if lessPoint2(a[mid], a[lo]) {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if lessPoint2(a[hi], a[lo]) {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if lessPoint2(a[hi], a[mid]) {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		a[lo], a[mid] = a[mid], a[lo]
+		pivot := a[lo]
+		i, j := 1, len(a)-1
+		for {
+			for i <= j && lessPoint2(a[i], pivot) {
+				i++
+			}
+			for i <= j && lessPoint2(pivot, a[j]) {
+				j--
+			}
+			if i > j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+		a[lo], a[j] = a[j], a[lo]
+		// Recurse into the smaller side, loop on the larger.
+		if j < len(a)-1-j {
+			sortPoints2(a[:j])
+			a = a[j+1:]
+		} else {
+			sortPoints2(a[j+1:])
+			a = a[:j]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && lessPoint2(v, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }

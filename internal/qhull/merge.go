@@ -1,7 +1,9 @@
 package qhull
 
 import (
+	"maps"
 	"math"
+	"slices"
 
 	"repro/internal/geom"
 )
@@ -80,8 +82,8 @@ func (h *Hull) MergedFaces(angleTol float64) []MergedFace {
 	}
 
 	var out []MergedFace
-	for gi, edges := range groupEdges {
-		loop := chainLoop(edges)
+	for _, gi := range slices.Sorted(maps.Keys(groupEdges)) {
+		loop := chainLoop(groupEdges[gi])
 		if len(loop) < 3 {
 			continue
 		}

@@ -10,6 +10,8 @@
 // an epsilon scaled to the input extent; points within tolerance of a face
 // are treated as interior (Qhull's "coplanar points" behaviour with merged
 // facets).
+//
+//tess:hotpath
 package qhull
 
 import (
@@ -89,6 +91,10 @@ func Compute(pts []geom.Vec3) (*Hull, error) {
 	// Work queue of faces that may have conflicts.
 	queue := append([]*face(nil), faces...)
 	live := faces
+	// Cone workspace, reused across insertions so the queue loop does not
+	// allocate a fresh slice and hash table per point.
+	var newFaces []*face
+	edgeToFace := make(map[[2]int]*face, 64)
 	for len(queue) > 0 {
 		f := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -121,8 +127,8 @@ func Compute(pts []geom.Vec3) (*Hull, error) {
 		}
 
 		// Build the cone of new faces over the horizon.
-		newFaces := make([]*face, 0, len(horizon))
-		edgeToFace := make(map[[2]int]*face, 3*len(horizon))
+		newFaces = newFaces[:0]
+		clear(edgeToFace)
 		for _, h := range horizon {
 			nf := &face{v: [3]int{h.u, h.v, p}}
 			nf.plane = geom.PlaneFromPoints(pts[h.u], pts[h.v], pts[p])
@@ -172,7 +178,7 @@ func Compute(pts []geom.Vec3) (*Hull, error) {
 	}
 
 	h := &Hull{Points: pts, eps: eps}
-	seen := map[int]bool{}
+	seen := make([]bool, len(pts))
 	for _, f := range live {
 		if f.dead {
 			continue
@@ -185,22 +191,13 @@ func Compute(pts []geom.Vec3) (*Hull, error) {
 	if len(h.Faces) < 4 {
 		return nil, ErrDegenerate
 	}
-	h.VertexIndices = make([]int, 0, len(seen))
-	for vi := range seen {
-		h.VertexIndices = append(h.VertexIndices, vi)
-	}
-	sortInts(h.VertexIndices)
-	return h, nil
-}
-
-func sortInts(s []int) {
-	// Insertion sort suffices for hull vertex lists (small), avoiding the
-	// sort import in the hot path file.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+	// The index scan yields VertexIndices already in increasing order.
+	for vi, on := range seen {
+		if on {
+			h.VertexIndices = append(h.VertexIndices, vi)
 		}
 	}
+	return h, nil
 }
 
 // initialSimplex picks four points spanning a non-degenerate tetrahedron:

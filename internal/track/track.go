@@ -12,6 +12,8 @@ package track
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -133,11 +135,7 @@ func matchSnapshots(a, b Snapshot, frac float64) []Link {
 				counts[bi]++
 			}
 		}
-		var bis []int
-		for bi := range counts {
-			bis = append(bis, bi)
-		}
-		sort.Ints(bis)
+		bis := slices.Sorted(maps.Keys(counts))
 		for _, bi := range bis {
 			ov := counts[bi]
 			small := len(f.IDs)
@@ -180,7 +178,8 @@ func (t *Tree) EventsAt(i int) ([]Event, error) {
 	}
 	// Merges: successors with several predecessors.
 	merged := map[int]bool{}
-	for bi, preds := range in {
+	for _, bi := range slices.Sorted(maps.Keys(in)) {
+		preds := in[bi]
 		if len(preds) > 1 {
 			sort.Ints(preds)
 			events = append(events, Event{Type: Merge, From: preds, To: []int{bi}})
@@ -189,7 +188,8 @@ func (t *Tree) EventsAt(i int) ([]Event, error) {
 	}
 	// Splits: predecessors with several successors.
 	split := map[int]bool{}
-	for ai, succs := range out {
+	for _, ai := range slices.Sorted(maps.Keys(out)) {
+		succs := out[ai]
 		if len(succs) > 1 {
 			sort.Ints(succs)
 			events = append(events, Event{Type: Split, From: []int{ai}, To: succs})
@@ -197,7 +197,8 @@ func (t *Tree) EventsAt(i int) ([]Event, error) {
 		}
 	}
 	// Continuations: unique both ways, not already part of merge/split.
-	for ai, succs := range out {
+	for _, ai := range slices.Sorted(maps.Keys(out)) {
+		succs := out[ai]
 		if len(succs) != 1 || split[ai] {
 			continue
 		}

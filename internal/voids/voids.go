@@ -8,7 +8,9 @@ package voids
 
 import (
 	"fmt"
+	"maps"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/diy"
@@ -161,7 +163,8 @@ func ConnectedComponents(cells []CellRecord) []Component {
 		groups[r] = append(groups[r], cells[i].ID)
 	}
 	var out []Component
-	for label, ids := range groups {
+	for _, label := range slices.Sorted(maps.Keys(groups)) {
+		ids := groups[label]
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		comp := Component{Label: label, CellIDs: ids}
 		members := make([]*CellRecord, len(ids))
@@ -260,7 +263,17 @@ func ComputeMinkowski(members []*CellRecord) Minkowski {
 		}
 	}
 
-	for _, info := range edges {
+	// Accumulate the curvature integral over edges in sorted key order:
+	// float addition is not associative, so ranging over the map directly
+	// would perturb MeanCurvature in the last bits from run to run.
+	ekeys := slices.SortedFunc(maps.Keys(edges), func(a, b ekey) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	for _, e := range ekeys {
+		info := edges[e]
 		if len(info.normals) == 2 {
 			// Exterior dihedral angle between the two boundary faces.
 			d := info.normals[0].Dot(info.normals[1])

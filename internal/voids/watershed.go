@@ -2,6 +2,8 @@ package voids
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -110,7 +112,8 @@ func Watershed(recs []CellRecord) ([]Zone, error) {
 		groups[core] = append(groups[core], recs[i].ID)
 	}
 	zones := make([]Zone, 0, len(groups))
-	for core, ids := range groups {
+	for _, core := range slices.Sorted(maps.Keys(groups)) {
+		ids := groups[core]
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		z := Zone{Core: core, CellIDs: ids, CoreDensity: density(byID[core])}
 		for _, id := range ids {
@@ -220,7 +223,8 @@ func FloodZones(recs []CellRecord, zones []Zone, barrier float64) []WatershedVoi
 		v.Volume += z.Volume
 	}
 	out := make([]WatershedVoid, 0, len(merged))
-	for _, v := range merged {
+	for _, root := range slices.Sorted(maps.Keys(merged)) {
+		v := merged[root]
 		sort.Slice(v.CellIDs, func(a, b int) bool { return v.CellIDs[a] < v.CellIDs[b] })
 		sort.Slice(v.Zones, func(a, b int) bool { return v.Zones[a] < v.Zones[b] })
 		out = append(out, *v)

@@ -2,7 +2,6 @@ package voronoi
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/geom"
 )
@@ -118,15 +117,11 @@ func ComputeCellBrute(pts []geom.Vec3, ids []int64, site geom.Vec3, id int64, in
 	if err != nil {
 		return nil, err
 	}
-	type dp struct {
-		d   float64
-		idx int
-	}
-	order := make([]dp, len(pts))
+	order := make([]distIdx, len(pts))
 	for i, p := range pts {
-		order[i] = dp{d: p.Dist(site), idx: i}
+		order[i] = distIdx{d: p.Dist(site), idx: i}
 	}
-	sort.Slice(order, func(a, b int) bool { return order[a].d < order[b].d })
+	sortDistIdx(order)
 	siteEps := 1e-12 * initBox.Size().MaxAbs()
 	secure := false
 	for _, o := range order {
@@ -222,4 +217,66 @@ func ComputePeriodic(pts []geom.Vec3, ids []int64, L float64, margin float64, wo
 		}
 	}
 	return cells, nil
+}
+
+// distIdx pairs a site distance with a point index for the nearest-first
+// clipping sweep.
+type distIdx struct {
+	d   float64
+	idx int
+}
+
+// sortDistIdx sorts by ascending distance without the sort.Slice closure
+// allocation, the same treatment sortShellPoints gives the bucket-shell
+// sweep: quicksort with median-of-three pivots, insertion sort below a
+// small cutoff. Ties keep a deterministic order because the input order is
+// deterministic and the swap sequence depends only on the d values.
+func sortDistIdx(a []distIdx) {
+	for len(a) > 12 {
+		lo, mid, hi := 0, len(a)/2, len(a)-1
+		if a[mid].d < a[lo].d {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi].d < a[lo].d {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi].d < a[mid].d {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		a[lo], a[mid] = a[mid], a[lo]
+		pivot := a[lo].d
+		i, j := 1, len(a)-1
+		for {
+			for i <= j && a[i].d < pivot {
+				i++
+			}
+			for i <= j && a[j].d > pivot {
+				j--
+			}
+			if i > j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+		a[lo], a[j] = a[j], a[lo]
+		// Recurse into the smaller side, loop on the larger.
+		if j < len(a)-1-j {
+			sortDistIdx(a[:j])
+			a = a[j+1:]
+		} else {
+			sortDistIdx(a[j+1:])
+			a = a[:j]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j].d > v.d {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }
