@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench
+.PHONY: build test vet lint race cover check bench
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,26 @@ lint:
 race:
 	$(GO) test -race ./...
 
-check: vet lint race
+# Coverage floor on the observability-critical packages: the recorder
+# itself, the comm layer that feeds its counters, and the ghost exchange
+# whose conservation laws the counters are tested against.
+COVER_PKGS  = ./internal/obs ./internal/comm ./internal/diy
+COVER_FLOOR = 70
+
+cover:
+	@fail=0; \
+	for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -cover $$pkg | tail -n 1); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "FAIL: no coverage reported for $$pkg"; fail=1; continue; fi; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(p >= f) }'; then \
+			echo "FAIL: $$pkg coverage $$pct% is below the $(COVER_FLOOR)% floor"; fail=1; \
+		fi; \
+	done; \
+	exit $$fail
+
+check: vet lint race cover
 
 # Headline perf benches: worker-pool scaling and allocation counts.
 bench:

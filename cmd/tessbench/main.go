@@ -30,6 +30,7 @@ import (
 	"repro/internal/diy"
 	"repro/internal/geom"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 		steps     = flag.Int("steps", 25, "simulation steps before tessellating the largest size (smaller sizes run proportionally more: 25 at 32^3 gives the paper's 100/50/25 schedule)")
 		cull      = flag.Float64("cull", 0.10, "cull the smallest fraction of the cell volume range (the paper's 10%)")
 		scaling   = flag.Bool("scaling", false, "also print the Figure 10 strong/weak scaling series")
+		commTable = flag.Bool("comm", false, "also print the communication-volume table from the observability counters (runs an extra concurrent pass per row)")
 		datamodel = flag.Bool("datamodel", false, "also print the Sec. III-C2 data model statistics")
 		outDir    = flag.String("out", "", "directory for tessellation output files (default: temp, deleted)")
 		workers   = flag.Int("workers", 0, "intra-rank compute workers per block (0 = GOMAXPROCS; ranks are timed one at a time so each gets the whole machine)")
@@ -81,6 +83,7 @@ func main() {
 		tess  time.Duration
 	}
 	strongSeries := map[int][]strongPoint{} // ng -> series
+	var commRows []commRow
 
 	largest := sizeList[len(sizeList)-1]
 	for _, ng := range sizeList {
@@ -121,8 +124,15 @@ func main() {
 			if *datamodel && p == procList[0] {
 				printDataModel(out)
 			}
+			if *commTable {
+				commRows = append(commRows, measureComm(ng, p, cfg, particles))
+			}
 		}
 		fmt.Println()
+	}
+
+	if *commTable {
+		printCommTable(commRows)
 	}
 
 	if *scaling {
@@ -142,6 +152,59 @@ func main() {
 		fmt.Println()
 		weakScaling(dir, *cull, *workers)
 	}
+}
+
+// commRow is one line of the communication-volume table, produced by an
+// instrumented concurrent run. Unlike the phase timings, every field is a
+// deterministic function of the inputs (message and byte counts do not
+// depend on scheduling), so the table is reproducible bit-for-bit.
+type commRow struct {
+	ng, procs       int
+	msgs, sentBytes int64
+	maxPairBytes    int64
+	ghosts          int64
+	imbalance       float64
+}
+
+// measureComm reruns the tessellation through the concurrent driver with an
+// obs.Recorder attached and reduces its snapshot to a table row.
+func measureComm(ng, procs int, cfg core.Config, particles []diy.Particle) commRow {
+	cfg.Recorder = obs.NewRecorder(procs)
+	cfg.OutputPath = "" // measured separately; keep this pass I/O-free
+	out, err := core.Run(cfg, particles, procs)
+	if err != nil {
+		log.Fatalf("comm pass ng=%d procs=%d: %v", ng, procs, err)
+	}
+	s := out.Obs
+	row := commRow{
+		ng: ng, procs: procs,
+		msgs: s.TotalSentMsgs, sentBytes: s.TotalSentBytes,
+		imbalance: s.ComputeImbalance,
+	}
+	for _, per := range s.SendBytes {
+		for _, b := range per {
+			if b > row.maxPairBytes {
+				row.maxPairBytes = b
+			}
+		}
+	}
+	for _, g := range s.Counters[core.CounterGhosts] {
+		row.ghosts += g
+	}
+	return row
+}
+
+func printCommTable(rows []commRow) {
+	fmt.Println("COMMUNICATION VOLUME (obs counters; byte counts are deterministic)")
+	fmt.Printf("%-10s %-6s %10s %10s %12s %10s %8s\n",
+		"Particles", "Procs", "Msgs", "Sent(KB)", "MaxPair(KB)", "Ghosts", "Imbal")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-6d %10d %10.1f %12.1f %10d %8.2f\n",
+			fmt.Sprintf("%d^3", r.ng), r.procs, r.msgs,
+			float64(r.sentBytes)/1e3, float64(r.maxPairBytes)/1e3,
+			r.ghosts, r.imbalance)
+	}
+	fmt.Println()
 }
 
 // runSim evolves an ng^3 simulation for nsteps and returns it with the

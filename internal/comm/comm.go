@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // World is a communicator over Size ranks. Create one with NewWorld, then
@@ -26,6 +28,11 @@ type World struct {
 	mail []map[int]chan message
 
 	barrier *barrier
+
+	// rec, when set, counts every message and collective through the
+	// observability layer. A nil recorder costs one pointer test per
+	// operation (obs methods no-op on nil receivers).
+	rec *obs.Recorder
 }
 
 type message struct {
@@ -53,6 +60,20 @@ func NewWorld(size int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// SetRecorder attaches an observability recorder sized for this world;
+// pass nil to disable. Set it before Run starts — the field is read
+// concurrently by every rank afterwards. It panics on a size mismatch,
+// which indicates the recorder was built for a different world.
+func (w *World) SetRecorder(r *obs.Recorder) {
+	if r != nil && r.Ranks() != w.size {
+		panic(fmt.Sprintf("comm: recorder for %d ranks attached to world of %d", r.Ranks(), w.size))
+	}
+	w.rec = r
+}
+
+// Recorder returns the attached observability recorder (nil when disabled).
+func (w *World) Recorder() *obs.Recorder { return w.rec }
+
 // Run executes body(rank) on size goroutines, one per rank, and waits for
 // all of them to finish. It is the moral equivalent of mpiexec.
 func (w *World) Run(body func(rank int)) {
@@ -72,6 +93,9 @@ func (w *World) Run(body func(rank int)) {
 func (w *World) Send(src, dst, tag int, payload any) {
 	w.checkRank(src)
 	w.checkRank(dst)
+	if w.rec != nil {
+		w.rec.CountSend(src, dst, obs.PayloadBytes(payload))
+	}
 	w.mail[dst][src] <- message{tag: tag, payload: payload}
 }
 
@@ -87,6 +111,9 @@ func (w *World) Recv(dst, src, tag int) any {
 	if msg.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", dst, tag, src, msg.tag))
 	}
+	if w.rec != nil {
+		w.rec.CountRecv(dst, src, obs.PayloadBytes(msg.payload))
+	}
 	return msg.payload
 }
 
@@ -98,6 +125,9 @@ func (w *World) RecvTimeout(dst, src, tag int, d time.Duration) (any, error) {
 	case msg := <-w.mail[dst][src]:
 		if msg.tag != tag {
 			return nil, fmt.Errorf("comm: rank %d expected tag %d from %d, got %d", dst, tag, src, msg.tag)
+		}
+		if w.rec != nil {
+			w.rec.CountRecv(dst, src, obs.PayloadBytes(msg.payload))
 		}
 		return msg.payload, nil
 	case <-time.After(d):
@@ -118,8 +148,23 @@ func (w *World) checkRank(r int) {
 	}
 }
 
-// Barrier blocks until all ranks have entered it.
+// Barrier blocks until all ranks have entered it. Use BarrierRank when the
+// caller's rank is known so the wait time lands in the observability layer.
 func (w *World) Barrier() { w.barrier.await() }
+
+// BarrierRank is Barrier with the calling rank identified: the time this
+// rank spends blocked (its load-imbalance exposure) is recorded as barrier
+// wait when a recorder is attached.
+func (w *World) BarrierRank(rank int) {
+	w.checkRank(rank)
+	if w.rec == nil {
+		w.barrier.await()
+		return
+	}
+	t0 := time.Now()
+	w.barrier.await()
+	w.rec.AddBarrierWait(rank, time.Since(t0))
+}
 
 type barrier struct {
 	mu    sync.Mutex
@@ -160,6 +205,9 @@ const (
 // Gather collects each rank's value at root, in rank order. Non-root ranks
 // receive nil.
 func Gather[T any](w *World, rank, root int, value T) []T {
+	if w.rec != nil {
+		w.rec.CountCollective(rank, obs.PayloadBytes(value))
+	}
 	if rank != root {
 		w.Send(rank, root, tagGather, value)
 		return nil
@@ -178,6 +226,9 @@ func Gather[T any](w *World, rank, root int, value T) []T {
 // Bcast distributes root's value to every rank and returns it.
 func Bcast[T any](w *World, rank, root int, value T) T {
 	if rank == root {
+		if w.rec != nil {
+			w.rec.CountCollective(rank, obs.PayloadBytes(value))
+		}
 		for dst := 0; dst < w.size; dst++ {
 			if dst != root {
 				w.Send(root, dst, tagBcast, value)
@@ -185,7 +236,11 @@ func Bcast[T any](w *World, rank, root int, value T) T {
 		}
 		return value
 	}
-	return w.Recv(rank, root, tagBcast).(T)
+	v := w.Recv(rank, root, tagBcast).(T)
+	if w.rec != nil {
+		w.rec.CountCollective(rank, obs.PayloadBytes(v))
+	}
+	return v
 }
 
 // Allgather collects each rank's value on every rank, in rank order.

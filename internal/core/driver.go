@@ -8,6 +8,7 @@ import (
 	"repro/internal/diy"
 	"repro/internal/geom"
 	"repro/internal/meshio"
+	"repro/internal/obs"
 	"repro/internal/voids"
 )
 
@@ -20,6 +21,10 @@ type Output struct {
 	// Voids holds the in situ component labeling when Config.LabelVoids is
 	// set (sorted by decreasing volume).
 	Voids []voids.Component
+	// Obs is the observability snapshot of the pass — per-rank phase spans,
+	// comm counters, and pipeline metrics — when Config.Recorder was set
+	// (nil otherwise).
+	Obs *obs.Snapshot
 }
 
 // labelVoids runs the in situ connected-component pass over the gathered
@@ -69,6 +74,15 @@ func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
 	parts := diy.PartitionParticles(d, particles)
 
 	w := comm.NewWorld(numBlocks)
+	if cfg.Recorder != nil {
+		if cfg.Recorder.Ranks() != numBlocks {
+			return nil, fmt.Errorf("core: recorder sized for %d ranks, run has %d blocks", cfg.Recorder.Ranks(), numBlocks)
+		}
+		// Pre-register the pipeline counters so concurrent ranks never race
+		// a first-use registration against in-flight Count calls.
+		registerCounters(cfg.Recorder)
+		w.SetRecorder(cfg.Recorder)
+	}
 	out := &Output{Meshes: make([]*meshio.BlockMesh, numBlocks)}
 	errs := make([]error, numBlocks)
 	var mu sync.Mutex
@@ -97,6 +111,9 @@ func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
 	}
 	if cfg.LabelVoids {
 		out.labelVoids(cfg.VoidThreshold)
+	}
+	if cfg.Recorder != nil {
+		out.Obs = cfg.Recorder.Snapshot()
 	}
 	return out, nil
 }

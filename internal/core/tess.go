@@ -28,6 +28,7 @@ import (
 	"repro/internal/diy"
 	"repro/internal/geom"
 	"repro/internal/meshio"
+	"repro/internal/obs"
 	"repro/internal/qhull"
 	"repro/internal/voronoi"
 )
@@ -72,6 +73,27 @@ type Config struct {
 	// parallel run neither oversubscribes nor idles cores. Results are
 	// identical for every worker count.
 	Workers int
+	// Recorder, when non-nil, collects per-rank phase spans, comm counters,
+	// and pipeline metrics for this pass (build one with
+	// obs.NewRecorder(numBlocks)). The snapshot lands in Output.Obs and can
+	// be exported as a Chrome trace. A nil recorder costs one pointer test
+	// per phase; results are identical either way.
+	Recorder *obs.Recorder
+}
+
+// Names of the registered pipeline counters in Config.Recorder.
+const (
+	CounterGhosts    = "ghosts-recvd"
+	CounterCellsKept = "cells-kept"
+	CounterSites     = "sites"
+)
+
+// registerCounters resolves the pipeline counter IDs (idempotent; see
+// obs.RegisterCounter).
+func registerCounters(rec *obs.Recorder) (ghosts, kept, sites obs.CounterID) {
+	return rec.RegisterCounter(CounterGhosts),
+		rec.RegisterCounter(CounterCellsKept),
+		rec.RegisterCounter(CounterSites)
 }
 
 // EffectiveWorkers resolves cfg.Workers for a run with concurrentRanks
@@ -155,25 +177,36 @@ func MaxGhost(d *diy.Decomposition) float64 {
 // own particles (inside its block bounds).
 func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.Particle, cfg Config) (*BlockResult, Timing, error) {
 	var tm Timing
+	rec := cfg.Recorder
 	start := time.Now()
 	block := d.Block(rank)
 
 	// Phase 1: neighborhood ghost exchange.
 	t0 := time.Now()
+	sp := rec.Begin(rank, obs.PhaseExchange)
 	ghosts := diy.ExchangeGhost(w, d, rank, local, cfg.GhostSize)
+	rec.End(rank, sp)
 	tm.Exchange = time.Since(t0)
 
-	// Phase 2+3: local cells, completeness, culling, hull pass.
+	// Phase 2+3: ghost merge into the spatial index, then local cells,
+	// completeness, culling, hull pass. Both sub-phases fall under the
+	// paper's "computation" time; the recorder keeps them apart.
 	t0 = time.Now()
-	res, err := computeBlockCells(block, local, ghosts, cfg, EffectiveWorkers(cfg, w.Size()))
+	sp = rec.Begin(rank, obs.PhaseGhostMerge)
+	bi := mergeGhosts(block, local, ghosts, cfg)
+	rec.End(rank, sp)
+	sp = rec.Begin(rank, obs.PhaseCompute)
+	res, err := computeIndexedCells(bi, local, cfg, EffectiveWorkers(cfg, w.Size()))
 	if err != nil {
 		return nil, tm, err
 	}
+	rec.End(rank, sp)
 	res.Rank = rank
 	tm.Compute = time.Since(t0)
 
 	// Phase 4: collective write.
 	t0 = time.Now()
+	sp = rec.Begin(rank, obs.PhaseOutput)
 	if cfg.OutputPath != "" {
 		payload, err := res.Mesh.Encode()
 		if err != nil {
@@ -187,21 +220,32 @@ func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.
 			tm.OutputBytes = n
 		}
 	}
+	rec.End(rank, sp)
 	tm.Output = time.Since(t0)
 	tm.Total = time.Since(start)
+	if rec != nil {
+		ghostsID, keptID, sitesID := registerCounters(rec)
+		rec.Count(rank, ghostsID, int64(res.Ghosts))
+		rec.Count(rank, keptID, res.Counts.Kept)
+		rec.Count(rank, sitesID, res.Counts.Sites)
+	}
 	return res, tm, nil
 }
 
-// computeBlockCells is the compute stage of one block: Voronoi cells for
-// every local site against local+ghost particles, completeness filtering,
-// the two-stage volume cull, and the optional hull pass. The per-site loop
-// fans out over a pool of workers goroutines claiming chunks of the site
-// range from an atomic cursor; every worker reuses its own voronoi.Scratch,
-// so the steady state allocates only the cells themselves. The result is
-// independent of the worker count: cells land in per-site slots and are
-// collected in site order, counts are accumulated per worker and summed,
-// and each cell's arithmetic is untouched by the fan-out.
-func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config, workers int) (*BlockResult, error) {
+// blockIndex is the merged local+ghost view of one block: the spatial
+// index the cell computation clips against, plus the initial clipping box
+// every local site starts from.
+type blockIndex struct {
+	ix      *voronoi.Index
+	initBox geom.Box
+	bounds  geom.Box
+	ghosts  int
+}
+
+// mergeGhosts is the ghost-merge sub-phase: it concatenates local and ghost
+// particles (local first, so site order is preserved) and builds the
+// spatial index the clipping kernel traverses.
+func mergeGhosts(block diy.Block, local, ghosts []diy.Particle, cfg Config) *blockIndex {
 	all := make([]geom.Vec3, 0, len(local)+len(ghosts))
 	ids := make([]int64, 0, len(local)+len(ghosts))
 	for _, p := range local {
@@ -212,8 +256,34 @@ func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config
 		all = append(all, p.Pos)
 		ids = append(ids, p.ID)
 	}
-	ix := voronoi.NewIndex(all, ids, 0)
-	initBox := block.Bounds.Expand(math.Max(cfg.GhostSize, 1e-9*block.Bounds.Size().MaxAbs()))
+	return &blockIndex{
+		ix:      voronoi.NewIndex(all, ids, 0),
+		initBox: block.Bounds.Expand(math.Max(cfg.GhostSize, 1e-9*block.Bounds.Size().MaxAbs())),
+		bounds:  block.Bounds,
+		ghosts:  len(ghosts),
+	}
+}
+
+// computeBlockCells is the compute stage of one block: Voronoi cells for
+// every local site against local+ghost particles, completeness filtering,
+// the two-stage volume cull, and the optional hull pass. It is the
+// ghost-merge and cell-compute sub-phases run back to back; drivers that
+// time the sub-phases separately call mergeGhosts and computeIndexedCells
+// themselves.
+func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config, workers int) (*BlockResult, error) {
+	return computeIndexedCells(mergeGhosts(block, local, ghosts, cfg), local, cfg, workers)
+}
+
+// computeIndexedCells runs the per-site cell pipeline over a merged block
+// index. The per-site loop fans out over a pool of workers goroutines
+// claiming chunks of the site range from an atomic cursor; every worker
+// reuses its own voronoi.Scratch, so the steady state allocates only the
+// cells themselves. The result is independent of the worker count: cells
+// land in per-site slots and are collected in site order, counts are
+// accumulated per worker and summed, and each cell's arithmetic is
+// untouched by the fan-out.
+func computeIndexedCells(bi *blockIndex, local []diy.Particle, cfg Config, workers int) (*BlockResult, error) {
+	ix, initBox := bi.ix, bi.initBox
 
 	// Early-cull diameter bound: a convex cell with diameter d has volume
 	// at most that of the ball with diameter d (isodiametric inequality),
@@ -297,8 +367,8 @@ func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config
 			kept = append(kept, c)
 		}
 	}
-	mesh := meshio.BuildBlockMesh(kept, block.Bounds, 0)
-	return &BlockResult{Mesh: mesh, Counts: counts, Ghosts: len(ghosts)}, nil
+	mesh := meshio.BuildBlockMesh(kept, bi.bounds, 0)
+	return &BlockResult{Mesh: mesh, Counts: counts, Ghosts: bi.ghosts}, nil
 }
 
 // cellDiameter2 returns the maximum squared pairwise vertex distance, for

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/diy"
 	"repro/internal/meshio"
+	"repro/internal/obs"
 )
 
 // TimedOutput extends Output with the per-rank phase times the performance
@@ -47,6 +48,14 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 	}
 	parts := diy.PartitionParticles(d, particles)
 
+	rec := cfg.Recorder
+	if rec != nil {
+		if rec.Ranks() != numBlocks {
+			return nil, fmt.Errorf("core: recorder sized for %d ranks, run has %d blocks", rec.Ranks(), numBlocks)
+		}
+		registerCounters(rec)
+	}
+
 	out := &TimedOutput{}
 	out.Meshes = make([]*meshio.BlockMesh, numBlocks)
 	out.PerRankExchange = make([]time.Duration, numBlocks)
@@ -54,17 +63,32 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 
 	for rank := 0; rank < numBlocks; rank++ {
 		t0 := time.Now()
+		sp := rec.Begin(rank, obs.PhaseExchange)
 		ghosts := diy.GatherGhosts(d, rank, parts, cfg.GhostSize)
+		rec.End(rank, sp)
 		out.PerRankExchange[rank] = time.Since(t0)
 
 		t0 = time.Now()
 		// Ranks run one at a time here, so each one's compute phase may use
-		// the whole machine (concurrentRanks == 1).
-		res, err := computeBlockCells(d.Block(rank), parts[rank], ghosts, cfg, EffectiveWorkers(cfg, 1))
+		// the whole machine (concurrentRanks == 1). PerRankCompute keeps the
+		// combined merge+compute semantics; the recorder splits the two.
+		sp = rec.Begin(rank, obs.PhaseGhostMerge)
+		bi := mergeGhosts(d.Block(rank), parts[rank], ghosts, cfg)
+		rec.End(rank, sp)
+		sp = rec.Begin(rank, obs.PhaseCompute)
+		res, err := computeIndexedCells(bi, parts[rank], cfg, EffectiveWorkers(cfg, 1))
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d: %w", rank, err)
 		}
+		rec.End(rank, sp)
 		out.PerRankCompute[rank] = time.Since(t0)
+
+		if rec != nil {
+			ghostsID, keptID, sitesID := registerCounters(rec)
+			rec.Count(rank, ghostsID, int64(res.Ghosts))
+			rec.Count(rank, keptID, res.Counts.Kept)
+			rec.Count(rank, sitesID, res.Counts.Sites)
+		}
 
 		out.Meshes[rank] = res.Mesh
 		out.Counts.Sites += res.Counts.Sites
@@ -97,11 +121,14 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 			payloads[rank] = data
 		}
 		w := comm.NewWorld(numBlocks)
+		w.SetRecorder(rec)
 		errs := make([]error, numBlocks)
 		var mu sync.Mutex
 		t0 := time.Now()
 		w.Run(func(rank int) {
+			sp := rec.Begin(rank, obs.PhaseOutput)
 			n, err := diy.CollectiveWrite(w, rank, cfg.OutputPath, payloads[rank])
+			rec.End(rank, sp)
 			if err != nil {
 				errs[rank] = err
 				return
@@ -120,5 +147,6 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 		}
 	}
 	out.Timing.Total = out.Timing.Exchange + out.Timing.Compute + out.Timing.Output
+	out.Obs = rec.Snapshot()
 	return out, nil
 }

@@ -1,0 +1,245 @@
+package meshio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// MergeCanonical combines per-block meshes of one complete tessellation into
+// a single decomposition-independent global mesh: runs over the same
+// particles with different block counts produce byte-identical encodings.
+//
+// Block-local cell geometry is not reusable for this — clipping order and
+// the block-dependent initial box perturb vertex coordinates at the ulp
+// level — so the merge re-derives every vertex canonically: each Voronoi
+// vertex is the exact intersection of the three bisector planes between the
+// cell site and its face neighbors (taking the nearest periodic image of
+// each neighbor), solved by Cramer's rule with the planes ordered by
+// neighbor ID. Cells are emitted sorted by particle ID, faces sorted by
+// neighbor ID, each face loop oriented outward and rotated to start at its
+// lexicographically smallest vertex, and volumes and areas are recomputed
+// from the canonical geometry. Only the cell *topology* is taken from the
+// inputs, and topology is decomposition-invariant.
+//
+// The merge requires the full tessellation: every cell complete, no wall
+// faces (periodic domains satisfy this), and every face neighbor present as
+// a cell site somewhere in the inputs. Nil meshes in the slice are skipped,
+// so Output.Meshes can be passed directly.
+func MergeCanonical(meshes []*BlockMesh, domain geom.Box, periodic bool) (*BlockMesh, error) {
+	type srcCell struct {
+		id       int64
+		site     geom.Vec3
+		mesh     *BlockMesh
+		idx      int
+		complete bool
+	}
+	sites := make(map[int64]geom.Vec3)
+	var cells []srcCell
+	for _, m := range meshes {
+		if m == nil {
+			continue
+		}
+		for i := range m.Particles {
+			id := m.ParticleIDs[i]
+			if _, dup := sites[id]; dup {
+				return nil, fmt.Errorf("meshio: particle %d appears in more than one block", id)
+			}
+			sites[id] = m.Particles[i]
+			cells = append(cells, srcCell{id, m.Particles[i], m, i, m.Complete[i]})
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].id < cells[b].id })
+
+	out := &BlockMesh{Extents: domain}
+	weldTol := 1e-9 * maxf(domain.Size().MaxAbs(), 1e-30)
+	pool := map[weldKey]int32{}
+	intern := func(v geom.Vec3) int32 {
+		k := weldKey{
+			x: int64(roundHalf(v.X / weldTol)),
+			y: int64(roundHalf(v.Y / weldTol)),
+			z: int64(roundHalf(v.Z / weldTol)),
+		}
+		if gi, ok := pool[k]; ok {
+			return gi
+		}
+		gi := int32(len(out.Verts))
+		out.Verts = append(out.Verts, v)
+		pool[k] = gi
+		return gi
+	}
+
+	for _, cc := range cells {
+		src := cc.mesh.Cells[cc.idx]
+		nf := len(src.Faces)
+		if nf < 4 {
+			return nil, fmt.Errorf("meshio: cell %d has %d faces", cc.id, nf)
+		}
+		// Canonical plane per face, from the nearest periodic image of the
+		// neighbor site; faces ordered by (neighbor ID, plane offset).
+		planes := make([]geom.Plane, nf)
+		order := make([]int, nf)
+		for fi, f := range src.Faces {
+			if f.Neighbor < 0 {
+				return nil, fmt.Errorf("meshio: cell %d has wall face %d; canonical merge requires a complete tessellation", cc.id, f.Neighbor)
+			}
+			ns, ok := sites[f.Neighbor]
+			if !ok {
+				return nil, fmt.Errorf("meshio: neighbor %d of cell %d is not among the merged cells", f.Neighbor, cc.id)
+			}
+			if periodic {
+				ns = nearestImage(ns, cc.site, domain)
+			}
+			planes[fi] = geom.Bisector(cc.site, ns)
+			order[fi] = fi
+		}
+		sort.Slice(order, func(a, b int) bool {
+			fa, fb := src.Faces[order[a]], src.Faces[order[b]]
+			if fa.Neighbor != fb.Neighbor {
+				return fa.Neighbor < fb.Neighbor
+			}
+			return planes[order[a]].D < planes[order[b]].D
+		})
+		// rankOf gives each face its canonical position, so vertex plane
+		// triples can be chosen by canonical order.
+		rankOf := make([]int, nf)
+		for r, fi := range order {
+			rankOf[fi] = r
+		}
+
+		// Vertex -> adjacent faces over the block-local welded indices (the
+		// decomposition-invariant topology).
+		adj := make(map[int32][]int)
+		for fi, f := range src.Faces {
+			for _, vi := range f.Verts {
+				adj[vi] = append(adj[vi], fi)
+			}
+		}
+		canon := make(map[int32]geom.Vec3, len(adj))
+		canonVert := func(vi int32) (geom.Vec3, error) {
+			if v, ok := canon[vi]; ok {
+				return v, nil
+			}
+			fl := adj[vi]
+			if len(fl) < 3 {
+				return geom.Vec3{}, fmt.Errorf("meshio: cell %d vertex on %d faces", cc.id, len(fl))
+			}
+			// The three canonically-first adjacent planes; any three meet at
+			// the same Voronoi vertex, and this choice is decomposition-free.
+			sort.Slice(fl, func(a, b int) bool { return rankOf[fl[a]] < rankOf[fl[b]] })
+			p1, p2, p3 := planes[fl[0]], planes[fl[1]], planes[fl[2]]
+			det := p1.N.Dot(p2.N.Cross(p3.N))
+			if math.Abs(det) < 1e-12 {
+				return geom.Vec3{}, fmt.Errorf("meshio: cell %d has a degenerate vertex (plane determinant %g)", cc.id, det)
+			}
+			v := p2.N.Cross(p3.N).Scale(-p1.D).
+				Add(p3.N.Cross(p1.N).Scale(-p2.D)).
+				Add(p1.N.Cross(p2.N).Scale(-p3.D)).
+				Scale(1 / det)
+			canon[vi] = v
+			return v, nil
+		}
+
+		var conn CellConn
+		var vol, area float64
+		for _, fi := range order {
+			f := src.Faces[fi]
+			coords := make([]geom.Vec3, len(f.Verts))
+			for k, vi := range f.Verts {
+				v, err := canonVert(vi)
+				if err != nil {
+					return nil, err
+				}
+				coords[k] = v
+			}
+			// Orient the loop outward (agreeing with the bisector normal,
+			// which points from the site toward the neighbor), then rotate it
+			// to start at the lexicographically smallest vertex. Both are
+			// geometric properties, so construction order cannot leak in.
+			if newellNormal(coords).Dot(planes[fi].N) < 0 {
+				reverseVecs(coords)
+			}
+			rotateToMin(coords)
+			loop := make([]int32, len(coords))
+			for k, v := range coords {
+				loop[k] = intern(v)
+			}
+			conn.Faces = append(conn.Faces, FaceConn{Neighbor: f.Neighbor, Verts: loop})
+			// Recompute geometry from the pooled vertices so the stored
+			// scalars are exactly consistent with the stored mesh.
+			a := out.Verts[loop[0]]
+			for k := 1; k+1 < len(loop); k++ {
+				b, c := out.Verts[loop[k]], out.Verts[loop[k+1]]
+				ab, ac := b.Sub(a), c.Sub(a)
+				area += 0.5 * ab.Cross(ac).Norm()
+				vol += a.Sub(cc.site).Dot(b.Sub(cc.site).Cross(c.Sub(cc.site))) / 6
+			}
+		}
+		out.Cells = append(out.Cells, conn)
+		out.Particles = append(out.Particles, cc.site)
+		out.ParticleIDs = append(out.ParticleIDs, cc.id)
+		out.Volumes = append(out.Volumes, vol)
+		out.Areas = append(out.Areas, area)
+		out.Complete = append(out.Complete, cc.complete)
+	}
+	return out, nil
+}
+
+// nearestImage returns the periodic image of s closest to p in the domain
+// box: q = s - L*round((s-p)/L) componentwise. round is exact and
+// order-free, so the image choice is decomposition-independent.
+func nearestImage(s, p geom.Vec3, domain geom.Box) geom.Vec3 {
+	L := domain.Size()
+	return geom.Vec3{
+		X: s.X - L.X*math.Round((s.X-p.X)/L.X),
+		Y: s.Y - L.Y*math.Round((s.Y-p.Y)/L.Y),
+		Z: s.Z - L.Z*math.Round((s.Z-p.Z)/L.Z),
+	}
+}
+
+// newellNormal is Newell's polygon normal (unnormalized); its direction
+// tells the loop's winding.
+func newellNormal(loop []geom.Vec3) geom.Vec3 {
+	var n geom.Vec3
+	for i := range loop {
+		a, b := loop[i], loop[(i+1)%len(loop)]
+		n.X += (a.Y - b.Y) * (a.Z + b.Z)
+		n.Y += (a.Z - b.Z) * (a.X + b.X)
+		n.Z += (a.X - b.X) * (a.Y + b.Y)
+	}
+	return n
+}
+
+func reverseVecs(v []geom.Vec3) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+}
+
+// rotateToMin rotates the cyclic loop so the lexicographically smallest
+// (X, Y, Z) vertex comes first, preserving winding.
+func rotateToMin(v []geom.Vec3) {
+	min := 0
+	for i := 1; i < len(v); i++ {
+		if lexLess(v[i], v[min]) {
+			min = i
+		}
+	}
+	if min == 0 {
+		return
+	}
+	rot := append(append([]geom.Vec3(nil), v[min:]...), v[:min]...)
+	copy(v, rot)
+}
+
+func lexLess(a, b geom.Vec3) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.Z < b.Z
+}

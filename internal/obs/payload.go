@@ -1,0 +1,36 @@
+package obs
+
+import "reflect"
+
+// PayloadBytes estimates the wire size of a message payload: the shallow
+// in-memory size of the value, with slices counted as length x element
+// size. The comm substrate passes payloads by reference, so this is the
+// byte volume an MPI transport would move for the same message — what the
+// paper's exchange-cost accounting (Table II) charges.
+//
+// The estimate is deterministic for a given payload type and length, which
+// is what the conservation invariant (bytes sent == bytes received) and
+// the cross-run comparisons need; it does not chase pointers inside
+// elements, and none of the tessellation's message types contain any.
+func PayloadBytes(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return int64(len(x))
+	case string:
+		return int64(len(x))
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Array:
+		return int64(rv.Len()) * int64(rv.Type().Elem().Size())
+	case reflect.Ptr:
+		if rv.IsNil() {
+			return 0
+		}
+		return int64(rv.Type().Elem().Size())
+	default:
+		return int64(rv.Type().Size())
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace-event export: the snapshot serializes to the JSON object
+// format understood by chrome://tracing and https://ui.perfetto.dev, with
+// one trace thread per rank, one complete ("X") event per recorded span,
+// and counter ("C") events for the comm byte totals. Timestamps are in
+// microseconds per the format specification.
+//
+// Format reference: the "Trace Event Format" document of the Chromium
+// project (JSON object format with a traceEvents array).
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// WriteTrace serializes the snapshot as Chrome trace-event JSON.
+func (s *Snapshot) WriteTrace(w io.Writer) error {
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "tess"},
+	})
+	for r := 0; r < s.Ranks; r++ {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for _, sp := range s.Spans {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: sp.Phase.String(),
+			Cat:  "phase",
+			Ph:   "X",
+			Ts:   float64(sp.Start.Microseconds()),
+			Dur:  durUS(sp),
+			Pid:  tracePid,
+			Tid:  int(sp.Rank),
+		})
+	}
+	// One counter sample per rank at the end of its last span, carrying the
+	// rank's cumulative comm volume; Perfetto renders these as step tracks.
+	for _, m := range s.PerRank {
+		ts := rankEnd(s, m.Rank)
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "comm-bytes",
+			Ph:   "C",
+			Ts:   ts,
+			Pid:  tracePid,
+			Tid:  m.Rank,
+			Args: map[string]any{
+				"sent":  m.SentBytes,
+				"recvd": m.RecvdBytes,
+			},
+		})
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "comm-msgs",
+			Ph:   "C",
+			Ts:   ts,
+			Pid:  tracePid,
+			Tid:  m.Rank,
+			Args: map[string]any{
+				"sent":  m.SentMsgs,
+				"recvd": m.RecvdMsgs,
+			},
+		})
+	}
+	// Registered counters, in sorted-name order so the export is
+	// deterministic.
+	for _, name := range s.CounterNames {
+		vals := s.Counters[name]
+		for r, v := range vals {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: name,
+				Ph:   "C",
+				Ts:   rankEnd(s, r),
+				Pid:  tracePid,
+				Tid:  r,
+				Args: map[string]any{"value": v},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}
+
+// WriteTraceFile writes the trace to path.
+func (s *Snapshot) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace %s: %w", path, err)
+	}
+	if err := s.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// durUS returns a span duration in microseconds, floored at a sliver so
+// zero-length spans stay visible in the viewer.
+func durUS(sp Span) float64 {
+	us := float64(sp.Dur.Microseconds())
+	if us <= 0 {
+		us = 0.1
+	}
+	return us
+}
+
+// rankEnd returns the end timestamp (us) of a rank's last span, or 0.
+func rankEnd(s *Snapshot, rank int) float64 {
+	var end float64
+	for _, sp := range s.Spans {
+		if int(sp.Rank) != rank {
+			continue
+		}
+		if e := float64(sp.Start.Microseconds()) + durUS(sp); e > end {
+			end = e
+		}
+	}
+	return end
+}

@@ -1,0 +1,143 @@
+package qhull
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// fuzzPoints decodes a fuzz payload as packed little-endian float64 triples,
+// capped so pathological inputs stay fast.
+func fuzzPoints(data []byte) []geom.Vec3 {
+	const maxPts = 48
+	n := len(data) / 24
+	if n > maxPts {
+		n = maxPts
+	}
+	pts := make([]geom.Vec3, n)
+	for i := 0; i < n; i++ {
+		pts[i] = geom.V(
+			math.Float64frombits(binary.LittleEndian.Uint64(data[24*i:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(data[24*i+8:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(data[24*i+16:])),
+		)
+	}
+	return pts
+}
+
+func marshalPoints(pts []geom.Vec3) []byte {
+	out := make([]byte, 24*len(pts))
+	for i, p := range pts {
+		binary.LittleEndian.PutUint64(out[24*i:], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(out[24*i+8:], math.Float64bits(p.Y))
+		binary.LittleEndian.PutUint64(out[24*i+16:], math.Float64bits(p.Z))
+	}
+	return out
+}
+
+// FuzzCompute drives the hull engine with adversarial point sets — the
+// degenerate configurations (coplanar, collinear, cospherical, duplicated
+// sites) that Qhull's joggle/merge machinery exists to survive. Compute
+// must never panic; it either rejects the input (ErrDegenerate, non-finite
+// points) or returns a hull satisfying the convexity invariants:
+// containment of every input point, outward face planes, and Euler's
+// relation for a triangulated closed surface.
+func FuzzCompute(f *testing.F) {
+	cube := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 1, Y: 1, Z: 0},
+		{X: 0, Y: 0, Z: 1}, {X: 1, Y: 0, Z: 1}, {X: 0, Y: 1, Z: 1}, {X: 1, Y: 1, Z: 1},
+	}
+	f.Add(marshalPoints(cube))
+	// Duplicate sites: the cube with every corner repeated.
+	f.Add(marshalPoints(append(append([]geom.Vec3{}, cube...), cube...)))
+	// Coplanar grid (degenerate: no 3D hull).
+	var plane []geom.Vec3
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			plane = append(plane, geom.V(float64(x), float64(y), 2))
+		}
+	}
+	f.Add(marshalPoints(plane))
+	// Collinear points.
+	f.Add(marshalPoints([]geom.Vec3{{}, {X: 1}, {X: 2}, {X: 3}, {X: 4}}))
+	// Cospherical points (icosahedron): every point is a hull vertex and
+	// many 4-point subsets are nearly coplanar.
+	phi := (1 + math.Sqrt(5)) / 2
+	ico := []geom.Vec3{
+		{Y: 1, Z: phi}, {Y: 1, Z: -phi}, {Y: -1, Z: phi}, {Y: -1, Z: -phi},
+		{X: 1, Y: phi}, {X: 1, Y: -phi}, {X: -1, Y: phi}, {X: -1, Y: -phi},
+		{X: phi, Z: 1}, {X: phi, Z: -1}, {X: -phi, Z: 1}, {X: -phi, Z: -1},
+	}
+	f.Add(marshalPoints(ico))
+	// Near-coplanar: a flat box a hair thicker than the tolerance.
+	thin := append([]geom.Vec3{}, plane...)
+	thin = append(thin, geom.V(1.5, 1.5, 2+1e-7))
+	f.Add(marshalPoints(thin))
+	// Tiny simplex plus a far outlier (scale stress).
+	f.Add(marshalPoints([]geom.Vec3{
+		{}, {X: 1e-8}, {Y: 1e-8}, {Z: 1e-8}, {X: 1e8, Y: 1e8, Z: 1e8},
+	}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := fuzzPoints(data)
+		h, err := Compute(pts)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if len(h.Faces) < 4 {
+			t.Fatalf("accepted hull with %d faces", len(h.Faces))
+		}
+		// Euler's relation for a closed triangulated surface: every face
+		// has 3 edges, each shared by 2 faces, so V = 2 + F/2.
+		if len(h.Faces)%2 != 0 {
+			t.Fatalf("odd face count %d on a closed triangulated hull", len(h.Faces))
+		}
+		if v := len(h.VertexIndices); v != 2+len(h.Faces)/2 {
+			t.Fatalf("Euler violation: %d vertices, %d faces (want V = 2 + F/2)", v, len(h.Faces))
+		}
+		// Containment: no input point may lie meaningfully outside any face.
+		// The check is conditioning-aware. The engine's construction epsilon
+		// is 1e-9 of the input extent; a facet whose triangle spans less
+		// than ~eps in some direction (sliver faces from duplicate or
+		// cospherical sites) has its *orientation* decided by eps-scale
+		// data, with angular uncertainty about eps*maxEdge/(2*area). The
+		// plane-evaluation error at a point grows with that uncertainty
+		// times the point's distance, so that is the allowance; facets
+		// whose orientation is entirely unconstrained (uncertainty ~1 rad)
+		// check nothing and are skipped. Production Qhull merges such
+		// facets away; this engine keeps them simplicial. Well-conditioned
+		// facets keep a tight absolute tolerance.
+		bb := geom.BoundingBox(pts)
+		scale := math.Max(bb.Size().MaxAbs(), math.Max(bb.Max.MaxAbs(), 1e-30))
+		tol := 1e-7 * scale
+		eps := 1e-9 * scale
+		c := h.Centroid()
+		for _, fc := range h.Faces {
+			a, fb, fcv := h.Points[fc.V[0]], h.Points[fc.V[1]], h.Points[fc.V[2]]
+			area2 := fb.Sub(a).Cross(fcv.Sub(a)).Norm() // 2*area
+			if area2 < 1e-30*scale*scale {
+				continue // zero-area sliver: its plane constrains nothing
+			}
+			maxE := math.Sqrt(math.Max(a.Dist2(fb), math.Max(fb.Dist2(fcv), a.Dist2(fcv))))
+			dirErr := 2 * eps * maxE / area2
+			if dirErr > 0.5 {
+				continue // orientation numerically unconstrained
+			}
+			for i, p := range pts {
+				allow := tol + dirErr*p.Dist(a)
+				if d := fc.Plane.Eval(p); d > allow {
+					t.Fatalf("point %d lies %g outside hull face %v (allowed %g)", i, d, fc.V, allow)
+				}
+			}
+			// Outward orientation: the hull centroid stays inside.
+			if d := fc.Plane.Eval(c); d > tol+dirErr*c.Dist(a) {
+				t.Fatalf("centroid %g outside face %v: not outward-oriented", d, fc.V)
+			}
+		}
+		if vol := h.Volume(); vol < 0 || math.IsNaN(vol) {
+			t.Fatalf("hull volume %g", vol)
+		}
+	})
+}

@@ -55,6 +55,16 @@ type face struct {
 	visited   bool
 }
 
+// thirdVertex returns the face vertex that is not u and not v.
+func (f *face) thirdVertex(u, v int) int {
+	for _, w := range f.v {
+		if w != u && w != v {
+			return w
+		}
+	}
+	return f.v[0]
+}
+
 // Compute returns the convex hull of pts. It returns ErrDegenerate when the
 // points do not span three dimensions within tolerance.
 func Compute(pts []geom.Vec3) (*Hull, error) {
@@ -77,6 +87,12 @@ func Compute(pts []geom.Vec3) (*Hull, error) {
 		return nil, err
 	}
 
+	// The initial simplex centroid stays strictly interior as the hull only
+	// grows; it anchors the outward orientation of every cone facet (sliver
+	// facets over near-coplanar horizon edges can otherwise come out with
+	// inverted normals, silently corrupting visibility for later points).
+	interior := pts[initial[0]].Add(pts[initial[1]]).Add(pts[initial[2]]).Add(pts[initial[3]]).Scale(0.25)
+
 	faces := makeSimplexFaces(pts, initial)
 
 	// Initial conflict assignment.
@@ -95,86 +111,157 @@ func Compute(pts []geom.Vec3) (*Hull, error) {
 	// allocate a fresh slice and hash table per point.
 	var newFaces []*face
 	edgeToFace := make(map[[2]int]*face, 64)
-	for len(queue) > 0 {
-		f := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		if f.dead || len(f.conflicts) == 0 {
-			continue
-		}
-		// Farthest conflict point of f.
-		best, bestD := -1, -math.Inf(1)
-		for _, ci := range f.conflicts {
-			if d := f.plane.Eval(pts[ci]); d > bestD {
-				best, bestD = ci, d
+	drain := func() error {
+		for len(queue) > 0 {
+			f := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if f.dead || len(f.conflicts) == 0 {
+				continue
 			}
-		}
-		if bestD <= eps {
-			f.conflicts = nil
-			continue
-		}
-		p := best
+			// Farthest conflict point of f.
+			best, bestD := -1, -math.Inf(1)
+			for _, ci := range f.conflicts {
+				if d := f.plane.Eval(pts[ci]); d > bestD {
+					best, bestD = ci, d
+				}
+			}
+			if bestD <= eps {
+				f.conflicts = nil
+				continue
+			}
+			p := best
 
-		visible := findVisible(f, pts[p], eps)
-		horizon := findHorizon(visible)
-		if len(horizon) < 3 {
-			// Numerical trouble: treat the point as interior.
+			visible := findVisible(f, pts[p], eps)
+			horizon := findHorizon(visible)
+			// If p is already a hull vertex (repair re-insertions), the cone
+			// is sound only when p's entire face ring is inside the visible
+			// set; a retained face keeping p as a vertex would leave p with
+			// two disjoint face fans — a pinched, non-manifold vertex whose
+			// neighborhood later rebuilds duplicate facets. findVisible
+			// leaves visited set on the visible faces, so retained faces are
+			// exactly the live unvisited ones.
+			pinched := false
+			for _, lf := range live {
+				if !lf.dead && !lf.visited && (lf.v[0] == p || lf.v[1] == p || lf.v[2] == p) {
+					pinched = true
+					break
+				}
+			}
+			if len(horizon) < 3 || pinched {
+				// Numerical trouble: treat the point as interior.
+				for _, vf := range visible {
+					vf.visited = false
+				}
+				removeConflict(f, p)
+				queue = append(queue, f)
+				continue
+			}
+
+			// Build the cone of new faces over the horizon.
+			newFaces = newFaces[:0]
+			clear(edgeToFace)
+			for _, h := range horizon {
+				nf := &face{v: [3]int{h.u, h.v, p}}
+				nf.plane = geom.PlaneFromPoints(pts[h.u], pts[h.v], pts[p])
+				if nf.plane.Degenerate() {
+					// Fall back to a plane through the edge facing away from
+					// the hull centroid; conflicts will sort themselves out on
+					// later insertions.
+					nf.plane = h.outside.plane
+				} else {
+					// Orient outward against the retained neighbor's off-edge
+					// vertex: it is a hull vertex, so it must lie on the
+					// non-positive side, and it is face-local — on anisotropic
+					// inputs the far simplex centroid amplifies the normal's
+					// angular noise by its distance and can pick the wrong
+					// sign. Fall back to the interior anchor only when the
+					// neighbor is cofacial and carries no signal.
+					w := pts[h.outside.thirdVertex(h.u, h.v)]
+					if d := nf.plane.Eval(w); d > eps {
+						nf.plane = nf.plane.Flip()
+					} else if d >= -eps && nf.plane.Eval(interior) > 0 {
+						nf.plane = nf.plane.Flip()
+					}
+				}
+				nf.neighbors[0] = h.outside
+				// Update the retained face's pointer toward the dead region.
+				for i := 0; i < 3; i++ {
+					if h.outside.neighbors[i] == h.inside {
+						h.outside.neighbors[i] = nf
+					}
+				}
+				edgeToFace[[2]int{h.v, p}] = nf
+				edgeToFace[[2]int{p, h.u}] = nf
+				newFaces = append(newFaces, nf)
+			}
+			// Link new faces to each other: edge (v,p) of one is twin of (p,v)
+			// of the next.
+			for _, nf := range newFaces {
+				// neighbors[1] is across (v, p); twin is (p, v).
+				nf.neighbors[1] = edgeToFace[[2]int{p, nf.v[1]}]
+				// neighbors[2] is across (p, u); twin is (u, p) == (v', p) of
+				// the previous cone face.
+				nf.neighbors[2] = edgeToFace[[2]int{nf.v[0], p}]
+				if nf.neighbors[1] == nil || nf.neighbors[2] == nil {
+					return fmt.Errorf("qhull: broken horizon linkage")
+				}
+			}
+
+			// Reassign conflicts of dead faces.
 			for _, vf := range visible {
-				vf.visited = false
+				vf.dead = true
+				for _, ci := range vf.conflicts {
+					if ci == p {
+						continue
+					}
+					assignConflictFaces(newFaces, ci, pts, eps)
+				}
+				vf.conflicts = nil
 			}
-			removeConflict(f, p)
-			queue = append(queue, f)
-			continue
+			live = append(live, newFaces...)
+			queue = append(queue, newFaces...)
 		}
+		return nil
+	}
+	if err := drain(); err != nil {
+		return nil, err
+	}
 
-		// Build the cone of new faces over the horizon.
-		newFaces = newFaces[:0]
-		clear(edgeToFace)
-		for _, h := range horizon {
-			nf := &face{v: [3]int{h.u, h.v, p}}
-			nf.plane = geom.PlaneFromPoints(pts[h.u], pts[h.v], pts[p])
-			if nf.plane.Degenerate() {
-				// Fall back to a plane through the edge facing away from
-				// the hull centroid; conflicts will sort themselves out on
-				// later insertions.
-				nf.plane = h.outside.plane
+	// Convexity repair. Engulfing a coplanar patch and rebuilding it anchored
+	// at a near-duplicate of one of its vertices tilts the rebuilt facets by
+	// far more than eps, leaving already-inserted vertices outside a reflex
+	// seam; the conflict lists never revisit them, and a later BFS from an
+	// unrelated seed cannot reach the seam because the visible region of a
+	// non-convex surface is disconnected. Re-seed the worst violator as a
+	// conflict of the facet it violates — the BFS then starts at the seam —
+	// and re-drain, a bounded number of times. Production Qhull solves this
+	// class with facet merging; bounded repair plus an explicit failure keeps
+	// this engine honest without that machinery.
+	const maxRepairRounds = 16
+	for round := 0; ; round++ {
+		var wf *face
+		wp, wd := -1, eps
+		for _, f := range live {
+			if f.dead {
+				continue
 			}
-			nf.neighbors[0] = h.outside
-			// Update the retained face's pointer toward the dead region.
-			for i := 0; i < 3; i++ {
-				if h.outside.neighbors[i] == h.inside {
-					h.outside.neighbors[i] = nf
+			for i := range pts {
+				if d := f.plane.Eval(pts[i]); d > wd {
+					wf, wp, wd = f, i, d
 				}
 			}
-			edgeToFace[[2]int{h.v, p}] = nf
-			edgeToFace[[2]int{p, h.u}] = nf
-			newFaces = append(newFaces, nf)
 		}
-		// Link new faces to each other: edge (v,p) of one is twin of (p,v)
-		// of the next.
-		for _, nf := range newFaces {
-			// neighbors[1] is across (v, p); twin is (p, v).
-			nf.neighbors[1] = edgeToFace[[2]int{p, nf.v[1]}]
-			// neighbors[2] is across (p, u); twin is (u, p) == (v', p) of
-			// the previous cone face.
-			nf.neighbors[2] = edgeToFace[[2]int{nf.v[0], p}]
-			if nf.neighbors[1] == nil || nf.neighbors[2] == nil {
-				return nil, fmt.Errorf("qhull: broken horizon linkage")
-			}
+		if wp < 0 {
+			break
 		}
-
-		// Reassign conflicts of dead faces.
-		for _, vf := range visible {
-			vf.dead = true
-			for _, ci := range vf.conflicts {
-				if ci == p {
-					continue
-				}
-				assignConflictFaces(newFaces, ci, pts, eps)
-			}
-			vf.conflicts = nil
+		if round == maxRepairRounds {
+			return nil, fmt.Errorf("qhull: convexity repair stalled: point %d outside by %g", wp, wd)
 		}
-		live = append(live, newFaces...)
-		queue = append(queue, newFaces...)
+		wf.conflicts = append(wf.conflicts, wp)
+		queue = append(queue, wf)
+		if err := drain(); err != nil {
+			return nil, err
+		}
 	}
 
 	h := &Hull{Points: pts, eps: eps}
@@ -324,9 +411,14 @@ func removeConflict(f *face, pi int) {
 	}
 }
 
-// findVisible returns all live faces visible from p (Eval > eps), found by
-// BFS from the seed face. Visited flags are left set on the returned faces;
-// callers clear them via death or explicitly on abort.
+// findVisible returns all live faces visible from p, found by BFS from the
+// seed face. Neighbors the point is merely coplanar with (|Eval| <= eps)
+// count as visible: engulfing the coplanar patch rebuilds it as part of the
+// cone, where leaving it in place would stitch the new facets onto a
+// non-convex seam that no later insertion revisits (the classic failure of
+// eps-fuzzy incremental hulls on inputs with 4+ cofacial points). Visited
+// flags are left set on the returned faces; callers clear them via death or
+// explicitly on abort.
 func findVisible(seed *face, p geom.Vec3, eps float64) []*face {
 	seed.visited = true
 	stack := []*face{seed}
@@ -339,7 +431,7 @@ func findVisible(seed *face, p geom.Vec3, eps float64) []*face {
 			if nb == nil || nb.visited || nb.dead {
 				continue
 			}
-			if nb.plane.Eval(p) > eps {
+			if nb.plane.Eval(p) > -eps {
 				nb.visited = true
 				stack = append(stack, nb)
 			}

@@ -4,7 +4,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/diy"
 	"repro/internal/geom"
+	"repro/internal/meshio"
 	"repro/internal/nbody"
+	"repro/internal/obs"
 	"repro/internal/voids"
 )
 
@@ -100,6 +102,32 @@ func EffectiveWorkers(cfg Config, concurrentRanks int) int {
 // by particle ID (Table I's metric).
 func CompareAccuracy(reference, parallel []CellSummary, tol float64) AccuracyReport {
 	return core.CompareAccuracy(reference, parallel, tol)
+}
+
+// Recorder is the always-on observability recorder: attach one to
+// Config.Recorder (sized to the block count) and the pass collects per-rank
+// phase spans, per-pair communication counters, and pipeline metrics into
+// Output.Obs. A nil recorder costs one pointer test per hook.
+type Recorder = obs.Recorder
+
+// ObsSnapshot is the immutable aggregate of a recorded pass; it exports as
+// Chrome trace-event JSON via WriteTrace/WriteTraceFile (open the file in
+// chrome://tracing or https://ui.perfetto.dev).
+type ObsSnapshot = obs.Snapshot
+
+// NewRecorder returns a Recorder for a run over numBlocks blocks.
+func NewRecorder(numBlocks int) *Recorder { return obs.NewRecorder(numBlocks) }
+
+// BlockMesh is the per-block analysis data model (vertices, connectivity,
+// per-cell volumes and areas).
+type BlockMesh = meshio.BlockMesh
+
+// MergeCanonical combines the per-block meshes of a complete (periodic)
+// tessellation into one decomposition-independent global mesh: runs over the
+// same particles with different block counts encode byte-identically. See
+// internal/meshio for the canonicalization rules.
+func MergeCanonical(meshes []*BlockMesh, domain Box, periodic bool) (*BlockMesh, error) {
+	return meshio.MergeCanonical(meshes, domain, periodic)
 }
 
 // ParticlesFromPositions wraps raw positions with sequential IDs.
