@@ -1,18 +1,24 @@
 # Build / verification entry points. `make check` is the full gate: vet,
-# the repo's own static analyzers (cmd/tesslint), and the whole test suite
-# under the race detector, so both the intra-rank worker-pool concurrency
-# and the rank-isolation/determinism/hot-path invariants are checked on
-# every run.
+# the repo's own static analyzers (cmd/tesslint), the whole test suite
+# under the race detector, the coverage floor, and the fault-injection
+# battery, so the intra-rank worker-pool concurrency, the
+# rank-isolation/determinism/hot-path invariants, AND the failure model
+# (abort, watchdog, crash containment) are checked on every run.
 
 GO ?= go
 
-.PHONY: build test vet lint race cover check bench
+# Hang guard: the fault-containment layer turns deadlocks into errors, so
+# any test that still hangs is itself a containment bug — bound it rather
+# than letting CI sit for the default 10 minutes.
+TEST_TIMEOUT ?= 4m
+
+.PHONY: build test vet lint race cover faults check bench
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +27,7 @@ lint:
 	$(GO) run ./cmd/tesslint ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
 
 # Coverage floor on the observability-critical packages: the recorder
 # itself, the comm layer that feeds its counters, and the ghost exchange
@@ -42,7 +48,12 @@ cover:
 	done; \
 	exit $$fail
 
-check: vet lint race cover
+# Graceful-degradation battery: seeded crashes, a diagnosed stall, and
+# delay transparency, through the real drivers (see cmd/tessbench -faults).
+faults:
+	$(GO) run ./cmd/tessbench -faults
+
+check: vet lint race cover faults
 
 # Headline perf benches: worker-pool scaling and allocation counts.
 bench:

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/diy"
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+)
+
+// runFaultBattery exercises the failure model end to end on a small
+// deterministic problem and reports PASS/FAIL per case. It is the
+// command-line face of the fault-containment acceptance criteria; `make
+// faults` and CI run it.
+func runFaultBattery(seed int64) bool {
+	fmt.Println("FAULT-INJECTION BATTERY (deterministic; seed", seed, ")")
+
+	const ng, L = 6, 10.0
+	particles := batteryParticles(ng, L)
+	dir, err := os.MkdirTemp("", "tessfaults")
+	if err != nil {
+		fmt.Println("FAIL: temp dir:", err)
+		return false
+	}
+	defer os.RemoveAll(dir)
+
+	baseCfg := func() core.Config {
+		return core.Config{
+			Domain:       geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L)),
+			Periodic:     true,
+			GhostSize:    3,
+			StallTimeout: 5 * time.Second,
+		}
+	}
+
+	ok := true
+	check := func(name string, pass bool, detail string) {
+		status := "PASS"
+		if !pass {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("  %-52s %s  %s\n", name, status, detail)
+	}
+
+	// Crash containment: every (blocks, step) cell must return a
+	// structured *comm.RankError carrying the injected *faultinject.Crash.
+	for _, blocks := range []int{2, 8} {
+		for step := 1; step <= 4; step++ {
+			cfg := baseCfg()
+			cfg.Faults = &faultinject.Plan{Seed: seed, CrashRank: blocks - 1, CrashStep: step}
+			t0 := time.Now()
+			_, err := core.Run(cfg, particles, blocks)
+			elapsed := time.Since(t0)
+			var re *comm.RankError
+			var crash *faultinject.Crash
+			pass := err != nil && errors.As(err, &re) && re.Rank == blocks-1 &&
+				errors.As(err, &crash) && crash.Step == step
+			check(fmt.Sprintf("crash rank=%d step=%d blocks=%d -> RankError", blocks-1, step, blocks),
+				pass, fmt.Sprintf("(%v) %v", elapsed.Round(time.Millisecond), errShort(err)))
+		}
+	}
+
+	// Stall diagnosis: a world with one rank missing from the collective
+	// must be diagnosed by the watchdog, with a wait-for dump.
+	{
+		w := comm.NewWorld(4, comm.WithWatchdog(100*time.Millisecond))
+		t0 := time.Now()
+		err := w.Run(func(rank int) {
+			if rank == 3 {
+				return
+			}
+			comm.Allgather(w, rank, rank)
+		})
+		var se *comm.StallError
+		pass := errors.As(err, &se) && len(se.Waits) == 4
+		check("mismatched collective -> StallError wait-for dump", pass,
+			fmt.Sprintf("(%v) %v", time.Since(t0).Round(time.Millisecond), errShort(err)))
+	}
+
+	// Delay transparency: a delay-only plan must leave the output file
+	// byte-identical to a fault-free run.
+	{
+		write := func(name string, plan *faultinject.Plan) ([]byte, error) {
+			cfg := baseCfg()
+			cfg.OutputPath = filepath.Join(dir, name)
+			cfg.Faults = plan
+			if _, err := core.Run(cfg, particles, 4); err != nil {
+				return nil, err
+			}
+			return os.ReadFile(cfg.OutputPath)
+		}
+		clean, err1 := write("clean.tess", nil)
+		delayed, err2 := write("delayed.tess", &faultinject.Plan{
+			Seed:            seed,
+			ComputeDelayMax: 2 * time.Millisecond,
+			SendDelayMax:    time.Millisecond,
+		})
+		pass := err1 == nil && err2 == nil && string(clean) == string(delayed)
+		detail := fmt.Sprintf("%d bytes", len(clean))
+		if err1 != nil || err2 != nil {
+			detail = fmt.Sprintf("%v %v", err1, err2)
+		} else if !pass {
+			detail = fmt.Sprintf("%d vs %d bytes differ", len(clean), len(delayed))
+		}
+		check("delay-only run byte-identical to fault-free run", pass, detail)
+	}
+
+	if ok {
+		fmt.Println("battery PASS")
+	} else {
+		fmt.Println("battery FAIL")
+	}
+	return ok
+}
+
+// batteryParticles is a fixed perturbed lattice: deterministic, small,
+// and irregular enough to exercise the exchange on every block count.
+func batteryParticles(ng int, L float64) []diy.Particle {
+	rng := rand.New(rand.NewSource(1234))
+	h := L / float64(ng)
+	var ps []diy.Particle
+	id := int64(0)
+	for z := 0; z < ng; z++ {
+		for y := 0; y < ng; y++ {
+			for x := 0; x < ng; x++ {
+				ps = append(ps, diy.Particle{
+					ID: id,
+					Pos: geom.V(
+						(float64(x)+0.5)*h+(rng.Float64()-0.5)*0.4*h,
+						(float64(y)+0.5)*h+(rng.Float64()-0.5)*0.4*h,
+						(float64(z)+0.5)*h+(rng.Float64()-0.5)*0.4*h),
+				})
+				id++
+			}
+		}
+	}
+	return ps
+}
+
+// errShort truncates an error for battery output (stall dumps span many
+// lines; one is enough here).
+func errShort(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	s := err.Error()
+	for i, c := range s {
+		if c == '\n' {
+			return s[:i] + " ..."
+		}
+	}
+	if len(s) > 100 {
+		return s[:100] + "..."
+	}
+	return s
+}

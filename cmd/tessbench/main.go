@@ -13,6 +13,14 @@
 //
 //	tessbench [-sizes 8,16,32] [-procs 1,2,4,8,16] [-steps 12] [-cull 0.1]
 //	          [-workers N] [-scaling] [-datamodel] [-out DIR]
+//	tessbench -faults [-seed N]
+//
+// The -faults mode runs the graceful-degradation battery instead of the
+// performance tables: seeded crash-at-step-N plans across 2- and 8-block
+// decompositions must surface as structured rank errors (never a hang or
+// a process exit), a stall must be diagnosed with a wait-for dump, and
+// delay-only plans must leave the output byte-identical to a fault-free
+// run. Exits non-zero if any case fails.
 package main
 
 import (
@@ -46,8 +54,17 @@ func main() {
 		datamodel = flag.Bool("datamodel", false, "also print the Sec. III-C2 data model statistics")
 		outDir    = flag.String("out", "", "directory for tessellation output files (default: temp, deleted)")
 		workers   = flag.Int("workers", 0, "intra-rank compute workers per block (0 = GOMAXPROCS; ranks are timed one at a time so each gets the whole machine)")
+		faults    = flag.Bool("faults", false, "run the fault-injection battery instead of the performance tables")
+		seed      = flag.Int64("seed", 1, "fault-injection seed for -faults (same seed, same schedule)")
 	)
 	flag.Parse()
+
+	if *faults {
+		if !runFaultBattery(*seed) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizeList, err := parseInts(*sizes)
 	if err != nil {

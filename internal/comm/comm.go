@@ -9,25 +9,72 @@
 // always send freshly allocated slices, so no two ranks ever mutate the same
 // memory. Collectives (Barrier, Allreduce, Allgather, Gather, Bcast) are
 // built from the same point-to-point layer.
+//
+// # Failure model
+//
+// Because the tessellation runs in situ inside a host simulation, the
+// substrate must never take the whole process down or hang it silently:
+//
+//   - A world can be aborted (explicitly via Abort, or implicitly when a
+//     rank's body panics inside Run, or by the stall watchdog). Aborting
+//     closes a world-level done channel that every blocking operation —
+//     Send, Recv, the collectives, the barrier — selects on, so one rank's
+//     failure unblocks every other rank instead of deadlocking it.
+//   - Run recovers per-rank panics into a *RankError (rank, value, stack),
+//     aborts the world so peers unwind, and returns the abort cause as an
+//     error. The process survives.
+//   - An opt-in stall watchdog (WithWatchdog) samples per-rank blocked
+//     state and aborts with a *StallError carrying a wait-for-graph dump
+//     when no rank has made progress for the configured timeout.
+//
+// Operations that unblock due to an abort panic with the world's
+// *AbortError; Run recognizes and swallows those secondary unwinds, so the
+// only error that surfaces is the original cause.
 package comm
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 )
 
+// DefaultMailboxCapacity is the per-pair message queue depth used when
+// NewWorld is not given WithMailboxCapacity. Sends block (abortably) when
+// the pair's queue is full, so "post sends first, then receive" patterns
+// are deadlock-free only while each rank's outstanding traffic to one peer
+// stays within this bound.
+const DefaultMailboxCapacity = 64
+
 // World is a communicator over Size ranks. Create one with NewWorld, then
 // launch one goroutine per rank with Run.
 type World struct {
-	size int
+	size     int
+	capacity int
 	// mail[dst][src] is the queue of messages from src to dst. Per-pair
 	// queues preserve MPI's pairwise ordering guarantee.
 	mail []map[int]chan message
 
 	barrier *barrier
+
+	// done is closed by the first Abort; every blocking operation selects
+	// on it so an aborted world unblocks all ranks.
+	done      chan struct{}
+	abortOnce sync.Once
+	// abortErr is written exactly once (inside abortOnce, before done is
+	// closed, which publishes it) and read only after observing done
+	// closed.
+	abortErr *AbortError
+
+	// wd is the opt-in stall watchdog (nil when disabled: the hot path
+	// then costs one pointer test per operation).
+	wd *watchdog
+
+	// sendDelay, when set (fault injection), returns an artificial
+	// delivery delay applied before each Send enqueues its message.
+	sendDelay func(src, dst, tag int) time.Duration
 
 	// rec, when set, counts every message and collective through the
 	// observability layer. A nil recorder costs one pointer test per
@@ -40,17 +87,65 @@ type message struct {
 	payload any
 }
 
+// Option configures a World at construction time.
+type Option func(*World)
+
+// WithMailboxCapacity sets the per-pair message queue depth (default
+// DefaultMailboxCapacity). It panics if n <= 0: a zero-capacity queue
+// would make every "send first, then receive" pattern a rendezvous and
+// deadlock the exchange idioms this package's clients rely on.
+func WithMailboxCapacity(n int) Option {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: mailbox capacity %d", n))
+	}
+	return func(w *World) { w.capacity = n }
+}
+
+// WithWatchdog arms the stall watchdog: a monitor goroutine (started by
+// Run) that samples which ranks are blocked in which operation and aborts
+// the world with a *StallError wait-for dump when every rank has been
+// blocked (or exited) with no progress for the given timeout. Timeout
+// must be positive.
+//
+// The watchdog only ever fires on a genuine deadlock: it requires every
+// rank to sit in an unbounded blocking operation (send, recv, or
+// rank-attributed barrier) or to have exited, continuously, for the whole
+// window. A rank that is merely slow — computing, sleeping, or in a
+// timeout-bounded wait — counts as running and suppresses the abort.
+func WithWatchdog(timeout time.Duration) Option {
+	if timeout <= 0 {
+		panic(fmt.Sprintf("comm: watchdog timeout %v", timeout))
+	}
+	return func(w *World) { w.wd = newWatchdog(w, timeout) }
+}
+
+// WithSendDelay installs a delivery-delay hook consulted before every
+// Send enqueues its message: the fault-injection layer uses it to model
+// slow links deterministically. The hook runs on the sending rank's
+// goroutine; a nil hook or zero return means no delay.
+func WithSendDelay(f func(src, dst, tag int) time.Duration) Option {
+	return func(w *World) { w.sendDelay = f }
+}
+
 // NewWorld returns a communicator for size ranks. It panics if size <= 0.
-func NewWorld(size int) *World {
+func NewWorld(size int, opts ...Option) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("comm: world size %d", size))
 	}
-	w := &World{size: size, barrier: newBarrier(size)}
+	w := &World{
+		size:     size,
+		capacity: DefaultMailboxCapacity,
+		barrier:  newBarrier(size),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
 	w.mail = make([]map[int]chan message, size)
 	for dst := 0; dst < size; dst++ {
 		m := make(map[int]chan message, size)
 		for src := 0; src < size; src++ {
-			m[src] = make(chan message, 64)
+			m[src] = make(chan message, w.capacity)
 		}
 		w.mail[dst] = m
 	}
@@ -59,6 +154,9 @@ func NewWorld(size int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// MailboxCapacity returns the per-pair message queue depth.
+func (w *World) MailboxCapacity() int { return w.capacity }
 
 // SetRecorder attaches an observability recorder sized for this world;
 // pass nil to disable. Set it before Run starts — the field is read
@@ -74,72 +172,243 @@ func (w *World) SetRecorder(r *obs.Recorder) {
 // Recorder returns the attached observability recorder (nil when disabled).
 func (w *World) Recorder() *obs.Recorder { return w.rec }
 
+// Abort kills the world: the first call records cause (wrapped in an
+// *AbortError) and unblocks every rank waiting in a Send, Recv,
+// collective, or barrier; those operations unwind their goroutines by
+// panicking with the *AbortError, which Run recognizes and swallows.
+// Later calls are no-ops. A nil cause records the bare sentinel.
+func (w *World) Abort(cause error) {
+	w.abortOnce.Do(func() {
+		w.abortErr = &AbortError{Cause: cause}
+		close(w.done)
+		w.barrier.abort()
+	})
+}
+
+// Err returns the abort error (*AbortError) if the world has been
+// aborted, nil otherwise.
+func (w *World) Err() error {
+	select {
+	case <-w.done:
+		return w.abortErr
+	default:
+		return nil
+	}
+}
+
+// Done exposes the abort channel: closed once the world is aborted.
+// Long-running rank bodies can select on it to stop early.
+func (w *World) Done() <-chan struct{} { return w.done }
+
+// abortUnwind panics with the world's abort error; called only after
+// observing done closed, so Err is never nil here.
+func (w *World) abortUnwind() {
+	panic(w.abortErr)
+}
+
 // Run executes body(rank) on size goroutines, one per rank, and waits for
-// all of them to finish. It is the moral equivalent of mpiexec.
-func (w *World) Run(body func(rank int)) {
+// all of them to finish. It is the moral equivalent of mpiexec, with the
+// fault containment mpiexec does not give you: a panic in one rank's body
+// is recovered into a *RankError, the world is aborted so every other
+// rank unblocks, and the abort cause is returned. Run returns nil when
+// all ranks complete normally. (Callers that predate the failure model
+// may ignore the return value; a fault-free run behaves exactly as
+// before.)
+func (w *World) Run(body func(rank int)) error {
+	if w.wd != nil {
+		w.wd.reset()
+		stopMonitor := w.wd.start()
+		defer stopMonitor()
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if w.wd != nil {
+					w.wd.markExited(rank)
+				}
+				v := recover()
+				if v == nil {
+					return
+				}
+				if ae, ok := v.(*AbortError); ok && ae == w.Err() {
+					return // secondary unwind of an already-aborted world
+				}
+				w.Abort(&RankError{Rank: rank, Value: v, Stack: debug.Stack()})
+			}()
 			body(rank)
 		}(r)
 	}
 	wg.Wait()
+	return w.Err()
 }
 
 // Send delivers payload from rank src to rank dst with the given tag.
-// It blocks only if the per-pair queue is full.
+// It blocks (abortably) when the per-pair queue is full. A self-send into
+// a full queue is a guaranteed deadlock — the sender is the only consumer
+// of its own mailbox — and panics immediately with a diagnostic instead
+// of hanging.
 func (w *World) Send(src, dst, tag int, payload any) {
 	w.checkRank(src)
 	w.checkRank(dst)
+	if w.sendDelay != nil {
+		if d := w.sendDelay(src, dst, tag); d > 0 {
+			w.sleepAbortable(d)
+		}
+	}
 	if w.rec != nil {
 		w.rec.CountSend(src, dst, obs.PayloadBytes(payload))
 	}
-	w.mail[dst][src] <- message{tag: tag, payload: payload}
+	ch := w.mail[dst][src]
+	select {
+	case ch <- message{tag: tag, payload: payload}:
+		return
+	default:
+	}
+	// Queue full: the blocking path.
+	if src == dst {
+		panic(fmt.Sprintf("comm: rank %d self-send overflow: its own mailbox is full "+
+			"(capacity %d, tag %d) and the sender is the queue's only consumer — guaranteed deadlock; "+
+			"drain with Recv before posting more, or raise WithMailboxCapacity", src, w.capacity, tag))
+	}
+	w.wd.enterWait(src, waitSend, dst, tag)
+	select {
+	case ch <- message{tag: tag, payload: payload}:
+		w.wd.exitWait(src)
+	case <-w.done:
+		w.wd.exitWait(src)
+		w.abortUnwind()
+	}
+}
+
+// SendTimeout is Send with a deadline: it returns an error instead of
+// blocking longer than d on a full queue, and returns the world's abort
+// error if the world dies while it waits. The message is counted (and
+// ownership transfers) only when it is actually enqueued. Self-send
+// overflow is an immediate error, as in Send.
+func (w *World) SendTimeout(src, dst, tag int, payload any, d time.Duration) error {
+	w.checkRank(src)
+	w.checkRank(dst)
+	ch := w.mail[dst][src]
+	enqueued := false
+	select {
+	case ch <- message{tag: tag, payload: payload}:
+		enqueued = true
+	default:
+	}
+	if !enqueued {
+		if src == dst {
+			return fmt.Errorf("comm: rank %d self-send overflow: mailbox full (capacity %d, tag %d) with no other consumer",
+				src, w.capacity, tag)
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case ch <- message{tag: tag, payload: payload}:
+		case <-w.done:
+			return w.Err()
+		case <-timer.C:
+			return fmt.Errorf("comm: rank %d timed out sending to %d (tag %d) after %v: queue full", src, dst, tag, d)
+		}
+	}
+	if w.rec != nil {
+		w.rec.CountSend(src, dst, obs.PayloadBytes(payload))
+	}
+	return nil
 }
 
 // Recv receives the next message from src addressed to dst with the given
 // tag. Messages between a fixed (src, dst) pair are received in send order;
 // a tag mismatch panics, as it indicates a protocol error in the caller
 // (this substrate has no out-of-order matching, and none is needed by DIY's
-// regular exchange patterns).
+// regular exchange patterns). The receive is counted before the tag check,
+// so the byte/message conservation invariant (Σ sent == Σ received per
+// pair) holds even on the error path. If the world is aborted while Recv
+// blocks, it unwinds with the abort error instead of hanging.
 func (w *World) Recv(dst, src, tag int) any {
 	w.checkRank(src)
 	w.checkRank(dst)
-	msg := <-w.mail[dst][src]
-	if msg.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", dst, tag, src, msg.tag))
+	ch := w.mail[dst][src]
+	var msg message
+	select {
+	case msg = <-ch:
+	default:
+		w.wd.enterWait(dst, waitRecv, src, tag)
+		select {
+		case msg = <-ch:
+			w.wd.exitWait(dst)
+		case <-w.done:
+			w.wd.exitWait(dst)
+			w.abortUnwind()
+		}
 	}
 	if w.rec != nil {
 		w.rec.CountRecv(dst, src, obs.PayloadBytes(msg.payload))
 	}
+	if msg.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", dst, tag, src, msg.tag))
+	}
 	return msg.payload
 }
 
-// RecvTimeout is Recv with a deadline, used by tests to detect deadlocks.
+// RecvTimeout is Recv with a deadline, used by tests and diagnostics to
+// bound a wait. Like Recv it counts a consumed message before checking the
+// tag — a mismatched message still moved bytes, and skipping the count
+// would break the conservation invariant — and the mismatch error carries
+// the dropped payload so the protocol slip is diagnosable. A timed-out
+// wait does not register with the stall watchdog (it self-resolves, so it
+// is not evidence of deadlock).
 func (w *World) RecvTimeout(dst, src, tag int, d time.Duration) (any, error) {
 	w.checkRank(src)
 	w.checkRank(dst)
+	ch := w.mail[dst][src]
+	var msg message
 	select {
-	case msg := <-w.mail[dst][src]:
-		if msg.tag != tag {
-			return nil, fmt.Errorf("comm: rank %d expected tag %d from %d, got %d", dst, tag, src, msg.tag)
+	case msg = <-ch:
+	default:
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case msg = <-ch:
+		case <-w.done:
+			return nil, w.Err()
+		case <-timer.C:
+			return nil, fmt.Errorf("comm: rank %d timed out waiting for %d (tag %d)", dst, src, tag)
 		}
-		if w.rec != nil {
-			w.rec.CountRecv(dst, src, obs.PayloadBytes(msg.payload))
-		}
-		return msg.payload, nil
-	case <-time.After(d):
-		return nil, fmt.Errorf("comm: rank %d timed out waiting for %d (tag %d)", dst, src, tag)
 	}
+	if w.rec != nil {
+		w.rec.CountRecv(dst, src, obs.PayloadBytes(msg.payload))
+	}
+	if msg.tag != tag {
+		return nil, fmt.Errorf("comm: rank %d expected tag %d from %d, got %d; dropping payload %T(%v)",
+			dst, tag, src, msg.tag, msg.payload, msg.payload)
+	}
+	return msg.payload, nil
 }
 
-// Sendrecv sends to dst and receives from src in a deadlock-free order
-// (sends are buffered, so post the send first).
+// Sendrecv sends to dst and receives from src. Posting the send first
+// keeps the pattern deadlock-free as long as the pair queue has space
+// (the send only blocks once the per-pair queue — see
+// WithMailboxCapacity — is full); a blocked send remains abortable, so a
+// protocol slip degrades into an abort diagnostic rather than a silent
+// hang.
 func (w *World) Sendrecv(rank, dst, src, tag int, payload any) any {
 	w.Send(rank, dst, tag, payload)
 	return w.Recv(rank, src, tag)
+}
+
+// sleepAbortable sleeps for d or until the world aborts, whichever comes
+// first (an injected delay must not outlive the world it delays).
+func (w *World) sleepAbortable(d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-w.done:
+		w.abortUnwind()
+	}
 }
 
 func (w *World) checkRank(r int) {
@@ -148,30 +417,48 @@ func (w *World) checkRank(r int) {
 	}
 }
 
-// Barrier blocks until all ranks have entered it. Use BarrierRank when the
-// caller's rank is known so the wait time lands in the observability layer.
-func (w *World) Barrier() { w.barrier.await() }
+// Barrier blocks until all ranks have entered it (or unwinds if the world
+// aborts). Use BarrierRank when the caller's rank is known so the wait
+// time lands in the observability layer and the stall watchdog can
+// attribute the wait.
+func (w *World) Barrier() {
+	if !w.barrier.await() {
+		w.abortUnwind()
+	}
+}
 
 // BarrierRank is Barrier with the calling rank identified: the time this
 // rank spends blocked (its load-imbalance exposure) is recorded as barrier
-// wait when a recorder is attached.
+// wait when a recorder is attached, and the wait is visible to the stall
+// watchdog.
 func (w *World) BarrierRank(rank int) {
 	w.checkRank(rank)
 	if w.rec == nil {
-		w.barrier.await()
+		w.wd.enterWait(rank, waitBarrier, -1, 0)
+		ok := w.barrier.await()
+		w.wd.exitWait(rank)
+		if !ok {
+			w.abortUnwind()
+		}
 		return
 	}
 	t0 := time.Now()
-	w.barrier.await()
+	w.wd.enterWait(rank, waitBarrier, -1, 0)
+	ok := w.barrier.await()
+	w.wd.exitWait(rank)
+	if !ok {
+		w.abortUnwind()
+	}
 	w.rec.AddBarrierWait(rank, time.Since(t0))
 }
 
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	size  int
-	count int
-	gen   int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	count   int
+	gen     int
+	aborted bool
 }
 
 func newBarrier(size int) *barrier {
@@ -180,20 +467,34 @@ func newBarrier(size int) *barrier {
 	return b
 }
 
-func (b *barrier) await() {
+// await returns true when the barrier completed and false when the world
+// was aborted while waiting (callers unwind).
+func (b *barrier) await() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.aborted {
+		return false
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-		return
+		return true
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.aborted {
 		b.cond.Wait()
 	}
+	return gen != b.gen // generation advanced: completed before any abort
+}
+
+// abort wakes every waiter; they observe the flag and unwind.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 // Collective tags occupy a reserved range well above user tags.
@@ -202,14 +503,22 @@ const (
 	tagBcast  = 1<<20 + 1
 )
 
+// Collective accounting convention: every rank records exactly one
+// CountCollective per collective operation, firing when the rank's role
+// in the transfer completes, with the byte size of the rank's own payload
+// in that operation — its contributed value for Gather (root included),
+// the broadcast value for Bcast. Allgather and Allreduce are composed of
+// one Gather plus one Bcast and therefore record two participations per
+// rank.
+
 // Gather collects each rank's value at root, in rank order. Non-root ranks
 // receive nil.
 func Gather[T any](w *World, rank, root int, value T) []T {
-	if w.rec != nil {
-		w.rec.CountCollective(rank, obs.PayloadBytes(value))
-	}
 	if rank != root {
 		w.Send(rank, root, tagGather, value)
+		if w.rec != nil {
+			w.rec.CountCollective(rank, obs.PayloadBytes(value))
+		}
 		return nil
 	}
 	out := make([]T, w.size)
@@ -220,19 +529,22 @@ func Gather[T any](w *World, rank, root int, value T) []T {
 		}
 		out[src] = w.Recv(root, src, tagGather).(T)
 	}
+	if w.rec != nil {
+		w.rec.CountCollective(rank, obs.PayloadBytes(value))
+	}
 	return out
 }
 
 // Bcast distributes root's value to every rank and returns it.
 func Bcast[T any](w *World, rank, root int, value T) T {
 	if rank == root {
-		if w.rec != nil {
-			w.rec.CountCollective(rank, obs.PayloadBytes(value))
-		}
 		for dst := 0; dst < w.size; dst++ {
 			if dst != root {
 				w.Send(root, dst, tagBcast, value)
 			}
+		}
+		if w.rec != nil {
+			w.rec.CountCollective(rank, obs.PayloadBytes(value))
 		}
 		return value
 	}
@@ -249,8 +561,11 @@ func Allgather[T any](w *World, rank int, value T) []T {
 	return Bcast(w, rank, 0, all)
 }
 
-// Allreduce combines every rank's value with op (which must be associative
-// and commutative) and returns the result on all ranks.
+// Allreduce combines every rank's value with op and returns the result on
+// all ranks. Evaluation is a left fold in fixed ascending rank order —
+// identical on every rank — so op must be associative for the result to
+// be grouping-independent, but it need not be commutative: operands are
+// never reordered.
 func Allreduce[T any](w *World, rank int, value T, op func(a, b T) T) T {
 	all := Allgather(w, rank, value)
 	acc := all[0]

@@ -1,0 +1,113 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ErrWorldAborted is the sentinel every unblocked operation's error chain
+// ends in once a world has been aborted: errors.Is(err, ErrWorldAborted)
+// identifies "this rank did not fail, the world died under it" regardless
+// of the original cause (a peer's panic, a stall, an explicit Abort).
+var ErrWorldAborted = errors.New("comm: world aborted")
+
+// AbortError is the structured error carried by an aborted world: the
+// original cause (typically a *RankError or *StallError) wrapped so that
+// both errors.Is(err, ErrWorldAborted) and errors.As against the cause
+// type succeed.
+type AbortError struct {
+	// Cause is the first error that aborted the world.
+	Cause error
+}
+
+func (e *AbortError) Error() string {
+	if e.Cause == nil {
+		return ErrWorldAborted.Error()
+	}
+	return ErrWorldAborted.Error() + ": " + e.Cause.Error()
+}
+
+// Is matches the ErrWorldAborted sentinel.
+func (e *AbortError) Is(target error) bool { return target == ErrWorldAborted }
+
+// Unwrap exposes the cause for errors.As / errors.Is chains.
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// RankError reports the failure of one rank: the value it panicked with
+// (or the error it returned to the driver) and, for panics, the stack of
+// the failing goroutine. World.Run converts contained panics into this
+// type so a single rank's crash becomes an error return instead of a
+// process exit.
+type RankError struct {
+	// Rank is the failing rank.
+	Rank int
+	// Value is the recovered panic value, or the error the rank reported.
+	Value any
+	// Stack is the failing goroutine's stack trace (nil when the rank
+	// reported an error instead of panicking).
+	Stack []byte
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("comm: rank %d failed: %v", e.Rank, e.Value)
+}
+
+// Unwrap exposes Value when it is itself an error, so injected faults and
+// pipeline errors stay matchable through the containment layer.
+func (e *RankError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// RankWait is one rank's row of a stall dump: what the rank was doing
+// when the watchdog declared the world stalled.
+type RankWait struct {
+	Rank int
+	// State is "running", "exited", or the blocked operation: "send",
+	// "recv", or "barrier".
+	State string
+	// Peer is the rank waited on (-1 when not applicable: running,
+	// exited, barrier).
+	Peer int
+	// Tag is the message tag of a blocked send/recv (0 otherwise).
+	Tag int
+	// For is how long the rank had been blocked at the time of the dump.
+	For time.Duration
+}
+
+func (rw RankWait) String() string {
+	switch rw.State {
+	case "running", "exited":
+		return fmt.Sprintf("rank %d: %s", rw.Rank, rw.State)
+	case "barrier":
+		return fmt.Sprintf("rank %d: blocked %v in barrier", rw.Rank, rw.For.Round(time.Millisecond))
+	default:
+		return fmt.Sprintf("rank %d: blocked %v in %s (peer %d, tag %d)",
+			rw.Rank, rw.For.Round(time.Millisecond), rw.State, rw.Peer, rw.Tag)
+	}
+}
+
+// StallError is the watchdog's diagnosis of a global stall: every rank
+// blocked in an unbounded communication operation (or exited) with no
+// progress for the configured timeout. Waits is the wait-for graph dump,
+// one row per rank.
+type StallError struct {
+	// Timeout is the no-progress window that triggered the abort.
+	Timeout time.Duration
+	// Waits holds one row per rank, in rank order.
+	Waits []RankWait
+}
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comm: global stall: no progress for %v; wait-for graph:", e.Timeout)
+	for _, rw := range e.Waits {
+		b.WriteString("\n  ")
+		b.WriteString(rw.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,420 @@
+package comm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// One rank aborting must unblock every other rank, however it was
+// blocked: recv, send into a full queue, or the barrier.
+func TestAbortUnblocksAllRanks(t *testing.T) {
+	const P = 4
+	cause := errors.New("rank 0 gave up")
+	w := NewWorld(P, WithMailboxCapacity(1))
+	err := w.Run(func(rank int) {
+		switch rank {
+		case 0:
+			time.Sleep(10 * time.Millisecond)
+			w.Abort(cause)
+		case 1:
+			w.Recv(1, 2, 99) // rank 2 never sends with tag for this wait to resolve
+		case 2:
+			// Fill the pair queue, then block on the second send: rank 3
+			// never receives.
+			w.Send(2, 3, 5, []int{1})
+			w.Send(2, 3, 5, []int{2})
+		case 3:
+			w.Barrier()
+		}
+	})
+	if err == nil {
+		t.Fatal("aborted world returned nil from Run")
+	}
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Fatalf("err %v does not match ErrWorldAborted", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err %v lost the abort cause", err)
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() nil after abort")
+	}
+	select {
+	case <-w.Done():
+	default:
+		t.Fatal("Done() not closed after abort")
+	}
+}
+
+// A panic in one rank's body must come back from Run as a *RankError
+// (rank, value, stack) with the peers unblocked — never a process crash.
+func TestPanicContainedAsRankError(t *testing.T) {
+	const P = 3
+	w := NewWorld(P)
+	err := w.Run(func(rank int) {
+		if rank == 1 {
+			panic("tessellation invariant violated")
+		}
+		w.Recv(rank, 1, 7) // would hang forever without the abort
+	})
+	if err == nil {
+		t.Fatal("Run returned nil despite a rank panic")
+	}
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err %v carries no *RankError", err)
+	}
+	if re.Rank != 1 {
+		t.Errorf("RankError.Rank = %d, want 1", re.Rank)
+	}
+	if re.Value != "tessellation invariant violated" {
+		t.Errorf("RankError.Value = %v", re.Value)
+	}
+	if len(re.Stack) == 0 || !strings.Contains(string(re.Stack), "fault_test") {
+		t.Errorf("RankError.Stack does not capture the failing goroutine")
+	}
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Errorf("contained panic error %v does not match ErrWorldAborted", err)
+	}
+}
+
+// A rank panicking with an error value keeps that error matchable through
+// the containment layers via errors.Is/As.
+func TestRankErrorUnwrapsErrorValue(t *testing.T) {
+	sentinel := errors.New("disk full")
+	w := NewWorld(2)
+	err := w.Run(func(rank int) {
+		if rank == 0 {
+			panic(sentinel)
+		}
+		w.Recv(rank, 0, 1)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v lost the panicked error value", err)
+	}
+}
+
+// The watchdog must convert a mismatched collective (one rank missing)
+// into a StallError wait-for dump instead of a hang, promptly.
+func TestWatchdogDetectsMismatchedCollective(t *testing.T) {
+	const P = 3
+	w := NewWorld(P, WithWatchdog(50*time.Millisecond))
+	start := time.Now()
+	err := w.Run(func(rank int) {
+		if rank == 2 {
+			return // "forgot" to join the collective
+		}
+		Allgather(w, rank, rank)
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("mismatched collective did not abort")
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v carries no *StallError", err)
+	}
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Errorf("stall error %v does not match ErrWorldAborted", err)
+	}
+	if len(se.Waits) != P {
+		t.Fatalf("stall dump has %d rows, want %d", len(se.Waits), P)
+	}
+	if se.Waits[2].State != "exited" {
+		t.Errorf("rank 2 state %q, want exited", se.Waits[2].State)
+	}
+	blocked := 0
+	for _, rw := range se.Waits[:2] {
+		if rw.State == "send" || rw.State == "recv" {
+			blocked++
+			if rw.Peer < 0 || rw.Peer >= P {
+				t.Errorf("blocked rank %d has no peer attribution: %+v", rw.Rank, rw)
+			}
+		}
+	}
+	if blocked == 0 {
+		t.Errorf("no blocked rank in dump: %v", se)
+	}
+	if !strings.Contains(err.Error(), "wait-for graph") {
+		t.Errorf("error text lacks the wait-for dump: %v", err)
+	}
+	// Detection must be bounded: ~timeout plus sampling slack, not minutes.
+	if elapsed > 5*time.Second {
+		t.Errorf("stall detection took %v", elapsed)
+	}
+}
+
+// A slow rank (compute, sleep) must NOT trip the watchdog even when the
+// quiet period far exceeds the timeout: slow is not stalled.
+func TestWatchdogNoFalsePositiveOnSlowRank(t *testing.T) {
+	const P = 3
+	w := NewWorld(P, WithWatchdog(20*time.Millisecond))
+	err := w.Run(func(rank int) {
+		if rank == 0 {
+			time.Sleep(120 * time.Millisecond) // 6x the timeout
+		}
+		got := Allgather(w, rank, rank)
+		if len(got) != P {
+			t.Errorf("rank %d: allgather %v", rank, got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("watchdog aborted a merely slow world: %v", err)
+	}
+}
+
+// A timeout-bounded wait must not register as a stall either: RecvTimeout
+// self-resolves.
+func TestWatchdogIgnoresBoundedWaits(t *testing.T) {
+	w := NewWorld(2, WithWatchdog(20*time.Millisecond))
+	err := w.Run(func(rank int) {
+		if rank == 0 {
+			// Bounded wait far longer than the watchdog window; rank 1 is
+			// asleep the whole time, so nothing arrives and nothing is
+			// blocked unboundedly — the world is healthy throughout.
+			if _, err := w.RecvTimeout(0, 1, 99, 100*time.Millisecond); err == nil ||
+				!strings.Contains(err.Error(), "timed out") {
+				t.Errorf("rank 0: bounded wait err = %v", err)
+			}
+		} else {
+			time.Sleep(150 * time.Millisecond)
+		}
+		w.Sendrecv(rank, 1-rank, 1-rank, 7, []int{rank})
+	})
+	if err != nil {
+		t.Fatalf("bounded wait tripped the watchdog: %v", err)
+	}
+}
+
+// A second Run on the same (healthy) world must not inherit stale
+// "exited" watchdog state from the first.
+func TestWatchdogAcrossRuns(t *testing.T) {
+	w := NewWorld(2, WithWatchdog(25*time.Millisecond))
+	for i := 0; i < 2; i++ {
+		err := w.Run(func(rank int) {
+			time.Sleep(60 * time.Millisecond)
+			w.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+// Self-send overflow is a guaranteed deadlock and must fail fast with an
+// actionable diagnostic instead of blocking forever.
+func TestSelfSendOverflowPanics(t *testing.T) {
+	w := NewWorld(2, WithMailboxCapacity(2))
+	err := w.Run(func(rank int) {
+		if rank != 0 {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			w.Send(0, 0, 1, []int{i}) // third send overflows capacity 2
+		}
+	})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("self-send overflow err %v carries no *RankError", err)
+	}
+	msg, ok := re.Value.(string)
+	if !ok || !strings.Contains(msg, "self-send overflow") ||
+		!strings.Contains(msg, "WithMailboxCapacity") {
+		t.Fatalf("diagnostic %v lacks the overflow guidance", re.Value)
+	}
+}
+
+func TestMailboxCapacityOption(t *testing.T) {
+	if got := NewWorld(2).MailboxCapacity(); got != DefaultMailboxCapacity {
+		t.Errorf("default capacity %d, want %d", got, DefaultMailboxCapacity)
+	}
+	w := NewWorld(2, WithMailboxCapacity(3))
+	if got := w.MailboxCapacity(); got != 3 {
+		t.Errorf("capacity %d, want 3", got)
+	}
+	// A rank can post exactly `capacity` sends to one peer without blocking
+	// even when the peer is not yet receiving.
+	err := w.Run(func(rank int) {
+		if rank == 0 {
+			for i := 0; i < 3; i++ {
+				w.Send(0, 1, 1, []int{i})
+			}
+		} else {
+			time.Sleep(10 * time.Millisecond)
+			for i := 0; i < 3; i++ {
+				got := w.Recv(1, 0, 1).([]int)
+				if got[0] != i {
+					t.Errorf("message %d out of order: %v", i, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithMailboxCapacityRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithMailboxCapacity(0) did not panic")
+		}
+	}()
+	WithMailboxCapacity(0)
+}
+
+func TestWithWatchdogRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithWatchdog(0) did not panic")
+		}
+	}()
+	WithWatchdog(0)
+}
+
+func TestSendTimeout(t *testing.T) {
+	w := NewWorld(2, WithMailboxCapacity(1))
+	err := w.Run(func(rank int) {
+		if rank != 0 {
+			time.Sleep(30 * time.Millisecond)
+			if got := w.Recv(1, 0, 1).([]int); got[0] != 1 {
+				t.Errorf("recv %v, want [1]", got)
+			}
+			return
+		}
+		// First send fits the queue and succeeds immediately.
+		if err := w.SendTimeout(0, 1, 1, []int{1}, time.Millisecond); err != nil {
+			t.Errorf("first send: %v", err)
+		}
+		// Second send finds the queue full and must time out, not hang.
+		start := time.Now()
+		err := w.SendTimeout(0, 1, 1, []int{2}, 5*time.Millisecond)
+		if err == nil || !strings.Contains(err.Error(), "timed out") {
+			t.Errorf("full-queue send err = %v", err)
+		}
+		if time.Since(start) > time.Second {
+			t.Errorf("timeout send blocked %v", time.Since(start))
+		}
+		// Self-send overflow is an immediate error.
+		w.Send(0, 0, 2, []int{0})
+		if err := w.SendTimeout(0, 0, 2, []int{1}, time.Millisecond); err == nil ||
+			!strings.Contains(err.Error(), "self-send overflow") {
+			t.Errorf("self-send overflow err = %v", err)
+		}
+		w.Recv(0, 0, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SendTimeout on an aborted world must return the abort error promptly.
+func TestSendTimeoutAbort(t *testing.T) {
+	w := NewWorld(2, WithMailboxCapacity(1))
+	err := w.Run(func(rank int) {
+		if rank == 1 {
+			time.Sleep(10 * time.Millisecond)
+			w.Abort(errors.New("peer died"))
+			return
+		}
+		w.Send(0, 1, 1, nil) // fill the queue
+		err := w.SendTimeout(0, 1, 1, nil, time.Minute)
+		if !errors.Is(err, ErrWorldAborted) {
+			t.Errorf("send on aborted world: %v", err)
+		}
+	})
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Fatalf("run err %v", err)
+	}
+}
+
+// Regression for the RecvTimeout accounting bug: a tag-mismatched message
+// was dropped without being counted, breaking conservation, and the error
+// hid what was dropped.
+func TestRecvTimeoutTagMismatchCounted(t *testing.T) {
+	const P = 2
+	w := NewWorld(P)
+	rec := obs.NewRecorder(P)
+	w.SetRecorder(rec)
+	err := w.Run(func(rank int) {
+		if rank == 0 {
+			w.Send(0, 1, 5, []int64{42}) // protocol slip: rank 1 expects tag 6
+			return
+		}
+		_, err := w.RecvTimeout(1, 0, 6, time.Second)
+		if err == nil {
+			t.Error("tag mismatch not reported")
+			return
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "expected tag 6") || !strings.Contains(msg, "got 5") {
+			t.Errorf("mismatch error lacks tags: %v", err)
+		}
+		if !strings.Contains(msg, "dropping payload") || !strings.Contains(msg, "42") {
+			t.Errorf("mismatch error lacks the dropped payload: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot()
+	if s.TotalSentMsgs != 1 || s.TotalRecvdMsgs != 1 {
+		t.Errorf("conservation broken on the mismatch path: sent %d msgs, received %d",
+			s.TotalSentMsgs, s.TotalRecvdMsgs)
+	}
+	if s.TotalSentBytes != s.TotalRecvdBytes {
+		t.Errorf("sent %d bytes, received %d", s.TotalSentBytes, s.TotalRecvdBytes)
+	}
+}
+
+func TestRecvTimeoutTimesOut(t *testing.T) {
+	w := NewWorld(2)
+	_, err := w.RecvTimeout(0, 1, 1, 5*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// RecvTimeout on an aborted world returns the abort error instead of
+// waiting out its deadline.
+func TestRecvTimeoutAbort(t *testing.T) {
+	w := NewWorld(2)
+	w.Abort(nil)
+	start := time.Now()
+	_, err := w.RecvTimeout(0, 1, 1, time.Minute)
+	if !errors.Is(err, ErrWorldAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("abort took %v to surface", time.Since(start))
+	}
+}
+
+// Abort is idempotent: only the first cause wins.
+func TestAbortFirstCauseWins(t *testing.T) {
+	w := NewWorld(2)
+	first := errors.New("first")
+	w.Abort(first)
+	w.Abort(errors.New("second"))
+	if !errors.Is(w.Err(), first) {
+		t.Fatalf("Err() = %v, want first cause", w.Err())
+	}
+}
+
+// With the watchdog disabled and no recorder, the point-to-point fast
+// path must not allocate (the containment machinery is free when idle).
+func TestDisabledFaultPathZeroAlloc(t *testing.T) {
+	w := NewWorld(1)
+	payload := any([]int64{1, 2, 3}) // pre-boxed: the payload's own boxing is not comm's cost
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Send(0, 0, 1, payload)
+		w.Recv(0, 0, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-watchdog send/recv pair allocates %g objects, want 0", allocs)
+	}
+}

@@ -64,6 +64,47 @@ func TestWorldRecorderCounts(t *testing.T) {
 	}
 }
 
+// Collective accounting convention: exactly one CountCollective per rank
+// per collective (two for the composed Allgather/Allreduce), recorded with
+// the rank's own payload size — so per-rank participation counts are
+// decomposition-independent and conservation extends to collectives.
+func TestCollectiveAccountingConvention(t *testing.T) {
+	const P = 4
+	for _, tc := range []struct {
+		name string
+		body func(w *World, rank int)
+		want int64 // collectives recorded per rank
+	}{
+		{"gather", func(w *World, rank int) { Gather(w, rank, 1, int64(rank)) }, 1},
+		{"bcast", func(w *World, rank int) { Bcast(w, rank, 2, int64(7)) }, 1},
+		{"allgather", func(w *World, rank int) { Allgather(w, rank, int64(rank)) }, 2},
+		{"allreduce", func(w *World, rank int) { Allreduce(w, rank, int64(1), SumInt64) }, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(P)
+			rec := obs.NewRecorder(P)
+			w.SetRecorder(rec)
+			if err := w.Run(func(rank int) { tc.body(w, rank) }); err != nil {
+				t.Fatal(err)
+			}
+			s := rec.Snapshot()
+			for _, m := range s.PerRank {
+				if m.Collectives != tc.want {
+					t.Errorf("rank %d recorded %d collectives, want %d", m.Rank, m.Collectives, tc.want)
+				}
+				if m.CollectiveBytes <= 0 {
+					t.Errorf("rank %d recorded %d collective bytes", m.Rank, m.CollectiveBytes)
+				}
+			}
+			// The point-to-point legs under the collectives stay conserved.
+			if s.TotalSentMsgs != s.TotalRecvdMsgs || s.TotalSentBytes != s.TotalRecvdBytes {
+				t.Errorf("conservation broken: %d/%d msgs, %d/%d bytes",
+					s.TotalSentMsgs, s.TotalRecvdMsgs, s.TotalSentBytes, s.TotalRecvdBytes)
+			}
+		})
+	}
+}
+
 // BarrierRank must record wait time for the rank that arrives early.
 func TestBarrierRankRecordsWait(t *testing.T) {
 	w := NewWorld(2)

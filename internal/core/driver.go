@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/diy"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/obs"
@@ -73,7 +74,18 @@ func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
 	}
 	parts := diy.PartitionParticles(d, particles)
 
-	w := comm.NewWorld(numBlocks)
+	var opts []comm.Option
+	if cfg.StallTimeout > 0 {
+		opts = append(opts, comm.WithWatchdog(cfg.StallTimeout))
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj := faultinject.New(*cfg.Faults, numBlocks)
+		cfg.injector = inj
+		if cfg.Faults.SendDelayMax > 0 {
+			opts = append(opts, comm.WithSendDelay(inj.SendDelay))
+		}
+	}
+	w := comm.NewWorld(numBlocks, opts...)
 	if cfg.Recorder != nil {
 		if cfg.Recorder.Ranks() != numBlocks {
 			return nil, fmt.Errorf("core: recorder sized for %d ranks, run has %d blocks", cfg.Recorder.Ranks(), numBlocks)
@@ -86,10 +98,15 @@ func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
 	out := &Output{Meshes: make([]*meshio.BlockMesh, numBlocks)}
 	errs := make([]error, numBlocks)
 	var mu sync.Mutex
-	w.Run(func(rank int) {
+	runErr := w.Run(func(rank int) {
 		res, tm, err := TessellateBlock(w, d, rank, parts[rank], cfg)
 		if err != nil {
 			errs[rank] = err
+			// Abort the world: the peers of a failed rank are (or soon
+			// will be) blocked in the timing/count collectives below, and
+			// without the abort they would wait forever on a rank that is
+			// never coming.
+			w.Abort(&comm.RankError{Rank: rank, Value: err})
 			return
 		}
 		gtm := ReduceTiming(w, rank, tm)
@@ -108,6 +125,11 @@ func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d: %w", r, err)
 		}
+	}
+	if runErr != nil {
+		// A contained panic (or watchdog stall) rather than a returned
+		// pipeline error: surface the structured abort cause.
+		return nil, fmt.Errorf("core: %w", runErr)
 	}
 	if cfg.LabelVoids {
 		out.labelVoids(cfg.VoidThreshold)

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/diy"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/obs"
@@ -79,6 +80,24 @@ type Config struct {
 	// be exported as a Chrome trace. A nil recorder costs one pointer test
 	// per phase; results are identical either way.
 	Recorder *obs.Recorder
+	// StallTimeout, when positive, arms the communication stall watchdog:
+	// if every rank is blocked in a comm operation (or has exited) with no
+	// progress for this long, the run aborts with a wait-for-graph
+	// diagnostic (comm.StallError) instead of hanging. 0 disables the
+	// watchdog; disabled it costs one pointer test per comm operation.
+	StallTimeout time.Duration
+	// Faults, when non-nil with an enabled plan, arms the deterministic
+	// fault-injection layer (see internal/faultinject): seeded per-rank
+	// compute slowdowns, message delivery delays, and rank
+	// crash-at-step-N. Injected crashes surface as a comm.RankError from
+	// the driver; delay-only plans leave results byte-identical to a
+	// fault-free run.
+	Faults *faultinject.Plan
+
+	// injector is the plan materialized once per driver run and shared by
+	// its ranks; TessellateBlock falls back to materializing its own when
+	// driven directly (per-rank state keeps that deterministic too).
+	injector *faultinject.Injector
 }
 
 // Names of the registered pipeline counters in Config.Recorder.
@@ -178,10 +197,19 @@ func MaxGhost(d *diy.Decomposition) float64 {
 func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.Particle, cfg Config) (*BlockResult, Timing, error) {
 	var tm Timing
 	rec := cfg.Recorder
+	inj := cfg.injector
+	if inj == nil && cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj = faultinject.New(*cfg.Faults, w.Size())
+	}
 	start := time.Now()
 	block := d.Block(rank)
 
-	// Phase 1: neighborhood ghost exchange.
+	// Phase 1: neighborhood ghost exchange. The fault checkpoints number
+	// the pipeline steps each rank passes (1 = entering the exchange,
+	// 2 = entering compute, 3 = entering output, 4 = pass complete); an
+	// injected crash-at-step-N panics at the matching checkpoint and the
+	// containment layer in comm.World.Run turns it into a RankError.
+	inj.Checkpoint(rank, "exchange")
 	t0 := time.Now()
 	sp := rec.Begin(rank, obs.PhaseExchange)
 	ghosts := diy.ExchangeGhost(w, d, rank, local, cfg.GhostSize)
@@ -191,6 +219,7 @@ func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.
 	// Phase 2+3: ghost merge into the spatial index, then local cells,
 	// completeness, culling, hull pass. Both sub-phases fall under the
 	// paper's "computation" time; the recorder keeps them apart.
+	inj.Checkpoint(rank, "compute")
 	t0 = time.Now()
 	sp = rec.Begin(rank, obs.PhaseGhostMerge)
 	bi := mergeGhosts(block, local, ghosts, cfg)
@@ -205,6 +234,7 @@ func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.
 	tm.Compute = time.Since(t0)
 
 	// Phase 4: collective write.
+	inj.Checkpoint(rank, "output")
 	t0 = time.Now()
 	sp = rec.Begin(rank, obs.PhaseOutput)
 	if cfg.OutputPath != "" {
@@ -223,6 +253,7 @@ func TessellateBlock(w *comm.World, d *diy.Decomposition, rank int, local []diy.
 	rec.End(rank, sp)
 	tm.Output = time.Since(t0)
 	tm.Total = time.Since(start)
+	inj.Checkpoint(rank, "done")
 	if rec != nil {
 		ghostsID, keptID, sitesID := registerCounters(rec)
 		rec.Count(rank, ghostsID, int64(res.Ghosts))

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/comm"
 	"repro/internal/diy"
+	"repro/internal/faultinject"
 	"repro/internal/meshio"
 	"repro/internal/obs"
 )
@@ -55,6 +57,10 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 		}
 		registerCounters(rec)
 	}
+	var inj *faultinject.Injector
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj = faultinject.New(*cfg.Faults, numBlocks)
+	}
 
 	out := &TimedOutput{}
 	out.Meshes = make([]*meshio.BlockMesh, numBlocks)
@@ -62,32 +68,9 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 	out.PerRankCompute = make([]time.Duration, numBlocks)
 
 	for rank := 0; rank < numBlocks; rank++ {
-		t0 := time.Now()
-		sp := rec.Begin(rank, obs.PhaseExchange)
-		ghosts := diy.GatherGhosts(d, rank, parts, cfg.GhostSize)
-		rec.End(rank, sp)
-		out.PerRankExchange[rank] = time.Since(t0)
-
-		t0 = time.Now()
-		// Ranks run one at a time here, so each one's compute phase may use
-		// the whole machine (concurrentRanks == 1). PerRankCompute keeps the
-		// combined merge+compute semantics; the recorder splits the two.
-		sp = rec.Begin(rank, obs.PhaseGhostMerge)
-		bi := mergeGhosts(d.Block(rank), parts[rank], ghosts, cfg)
-		rec.End(rank, sp)
-		sp = rec.Begin(rank, obs.PhaseCompute)
-		res, err := computeIndexedCells(bi, parts[rank], cfg, EffectiveWorkers(cfg, 1))
+		res, err := runTimedRank(cfg, d, parts, rank, rec, inj, out)
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d: %w", rank, err)
-		}
-		rec.End(rank, sp)
-		out.PerRankCompute[rank] = time.Since(t0)
-
-		if rec != nil {
-			ghostsID, keptID, sitesID := registerCounters(rec)
-			rec.Count(rank, ghostsID, int64(res.Ghosts))
-			rec.Count(rank, keptID, res.Counts.Kept)
-			rec.Count(rank, sitesID, res.Counts.Sites)
 		}
 
 		out.Meshes[rank] = res.Mesh
@@ -120,17 +103,24 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 			}
 			payloads[rank] = data
 		}
-		w := comm.NewWorld(numBlocks)
+		var opts []comm.Option
+		if cfg.StallTimeout > 0 {
+			opts = append(opts, comm.WithWatchdog(cfg.StallTimeout))
+		}
+		w := comm.NewWorld(numBlocks, opts...)
 		w.SetRecorder(rec)
 		errs := make([]error, numBlocks)
 		var mu sync.Mutex
 		t0 := time.Now()
-		w.Run(func(rank int) {
+		runErr := w.Run(func(rank int) {
 			sp := rec.Begin(rank, obs.PhaseOutput)
 			n, err := diy.CollectiveWrite(w, rank, cfg.OutputPath, payloads[rank])
 			rec.End(rank, sp)
 			if err != nil {
 				errs[rank] = err
+				// Peers are blocked in CollectiveWrite's own collectives;
+				// without the abort they would wait on this rank forever.
+				w.Abort(&comm.RankError{Rank: rank, Value: err})
 				return
 			}
 			if rank == 0 {
@@ -145,8 +135,55 @@ func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput
 				return nil, fmt.Errorf("core: rank %d write: %w", r, err)
 			}
 		}
+		if runErr != nil {
+			return nil, fmt.Errorf("core: %w", runErr)
+		}
 	}
 	out.Timing.Total = out.Timing.Exchange + out.Timing.Compute + out.Timing.Output
 	out.Obs = rec.Snapshot()
 	return out, nil
+}
+
+// runTimedRank executes one rank's exchange + compute section of the
+// sequential timing loop, with the same fault containment the concurrent
+// driver gets from comm.World.Run: an injected (or genuine) panic is
+// recovered into a *comm.RankError instead of killing the process.
+func runTimedRank(cfg Config, d *diy.Decomposition, parts [][]diy.Particle, rank int,
+	rec *obs.Recorder, inj *faultinject.Injector, out *TimedOutput) (res *BlockResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &comm.RankError{Rank: rank, Value: v, Stack: debug.Stack()}
+		}
+	}()
+
+	inj.Checkpoint(rank, "exchange")
+	t0 := time.Now()
+	sp := rec.Begin(rank, obs.PhaseExchange)
+	ghosts := diy.GatherGhosts(d, rank, parts, cfg.GhostSize)
+	rec.End(rank, sp)
+	out.PerRankExchange[rank] = time.Since(t0)
+
+	inj.Checkpoint(rank, "compute")
+	t0 = time.Now()
+	// Ranks run one at a time here, so each one's compute phase may use
+	// the whole machine (concurrentRanks == 1). PerRankCompute keeps the
+	// combined merge+compute semantics; the recorder splits the two.
+	sp = rec.Begin(rank, obs.PhaseGhostMerge)
+	bi := mergeGhosts(d.Block(rank), parts[rank], ghosts, cfg)
+	rec.End(rank, sp)
+	sp = rec.Begin(rank, obs.PhaseCompute)
+	res, err = computeIndexedCells(bi, parts[rank], cfg, EffectiveWorkers(cfg, 1))
+	if err != nil {
+		return nil, err
+	}
+	rec.End(rank, sp)
+	out.PerRankCompute[rank] = time.Since(t0)
+
+	if rec != nil {
+		ghostsID, keptID, sitesID := registerCounters(rec)
+		rec.Count(rank, ghostsID, int64(res.Ghosts))
+		rec.Count(rank, keptID, res.Counts.Kept)
+		rec.Count(rank, sitesID, res.Counts.Sites)
+	}
+	return res, nil
 }

@@ -60,9 +60,14 @@ func ExchangeGhost(w *comm.World, d *Decomposition, rank int, local []Particle, 
 	}
 
 	// Post all sends, then receive one message from every rank we are
-	// linked to. Buffered channels in comm make this deadlock-free. Drain
-	// in ascending rank order: ranging over the map directly would
-	// randomize the ghost concatenation order run to run.
+	// linked to. The send-first pattern cannot deadlock here because each
+	// rank posts at most one message per peer before receiving, well
+	// within comm's per-pair queue capacity; a send CAN block once a
+	// pair's queue fills (see comm.WithMailboxCapacity), in which case the
+	// blocked send stays abortable and watchdog-visible rather than
+	// silently hanging. Drain in ascending rank order: ranging over the
+	// map directly would randomize the ghost concatenation order run to
+	// run.
 	ranks := slices.Sorted(maps.Keys(perRank))
 	for _, dst := range ranks {
 		w.Send(rank, dst, tagExchange, perRank[dst])

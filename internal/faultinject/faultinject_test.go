@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestZeroPlanDisabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+	for _, p := range []Plan{
+		{CrashStep: 1},
+		{ComputeDelayMax: time.Millisecond},
+		{SendDelayMax: time.Millisecond},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v reports disabled", p)
+		}
+	}
+	// CrashStep <= 0 must not arm the crash path even with CrashRank set.
+	if (Plan{CrashRank: 2}).Enabled() {
+		t.Fatal("plan with only CrashRank reports enabled")
+	}
+}
+
+// A nil injector is the disabled layer: every hook must be a safe no-op.
+func TestNilInjectorNoOp(t *testing.T) {
+	var in *Injector
+	in.Checkpoint(0, "exchange")
+	if d := in.SendDelay(0, 1, 7); d != 0 {
+		t.Fatalf("nil injector send delay %v", d)
+	}
+}
+
+// The crash must fire at exactly the configured (rank, step) with the
+// site label of that checkpoint, and at no other checkpoint.
+func TestCrashAtExactStep(t *testing.T) {
+	in := New(Plan{Seed: 1, CrashRank: 1, CrashStep: 3}, 4)
+	sites := []string{"exchange", "compute", "output", "done"}
+
+	// Other ranks pass every checkpoint untouched.
+	for _, site := range sites {
+		in.Checkpoint(0, site)
+		in.Checkpoint(2, site)
+	}
+
+	in.Checkpoint(1, sites[0])
+	in.Checkpoint(1, sites[1])
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no crash at step 3")
+		}
+		c, ok := v.(*Crash)
+		if !ok {
+			t.Fatalf("panic value %T, want *Crash", v)
+		}
+		if c.Rank != 1 || c.Step != 3 || c.Site != "output" {
+			t.Fatalf("crash %+v, want rank 1 step 3 site output", c)
+		}
+		var err error = c
+		var target *Crash
+		if !errors.As(err, &target) {
+			t.Fatal("*Crash does not satisfy errors.As")
+		}
+	}()
+	in.Checkpoint(1, sites[2])
+}
+
+// Equal plans must give bit-identical schedules; different seeds must not.
+func TestDeterministicSchedules(t *testing.T) {
+	plan := Plan{Seed: 42, ComputeDelayMax: time.Millisecond, SendDelayMax: time.Millisecond}
+	a, b := New(plan, 3), New(plan, 3)
+	other := New(Plan{Seed: 43, ComputeDelayMax: time.Millisecond, SendDelayMax: time.Millisecond}, 3)
+
+	differs := false
+	for i := 0; i < 64; i++ {
+		da := a.SendDelay(1, 0, 7)
+		db := b.SendDelay(1, 0, 7)
+		dc := other.SendDelay(1, 0, 7)
+		if da != db {
+			t.Fatalf("message %d: same seed gave %v vs %v", i, da, db)
+		}
+		if da < 0 || da >= plan.SendDelayMax {
+			t.Fatalf("message %d: delay %v outside [0, %v)", i, da, plan.SendDelayMax)
+		}
+		if da != dc {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("64 draws identical across different seeds")
+	}
+}
+
+// Per-rank counters are independent: rank 0's traffic must not shift rank
+// 1's schedule (the single-writer sharding contract).
+func TestPerRankIndependence(t *testing.T) {
+	plan := Plan{Seed: 7, SendDelayMax: time.Millisecond}
+	solo := New(plan, 2)
+	mixed := New(plan, 2)
+
+	var want []time.Duration
+	for i := 0; i < 16; i++ {
+		want = append(want, solo.SendDelay(1, 0, 0))
+	}
+	for i := 0; i < 16; i++ {
+		mixed.SendDelay(0, 1, 0) // interleaved rank-0 traffic
+		if got := mixed.SendDelay(1, 0, 0); got != want[i] {
+			t.Fatalf("message %d: rank 0 traffic shifted rank 1's delay %v -> %v", i, want[i], got)
+		}
+	}
+}
+
+func TestNewPanicsOnBadRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(plan, 0) did not panic")
+		}
+	}()
+	New(Plan{}, 0)
+}

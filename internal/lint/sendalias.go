@@ -30,8 +30,9 @@ var SendAlias = &Analyzer{
 // sendPayloadIndex maps point-to-point World methods to the argument
 // index of their payload.
 var sendPayloadIndex = map[string]int{
-	"Send":     3, // Send(src, dst, tag, payload)
-	"Sendrecv": 4, // Sendrecv(rank, dst, src, tag, payload)
+	"Send":        3, // Send(src, dst, tag, payload)
+	"SendTimeout": 3, // SendTimeout(src, dst, tag, payload, timeout)
+	"Sendrecv":    4, // Sendrecv(rank, dst, src, tag, payload)
 }
 
 func runSendAlias(p *Pass) {

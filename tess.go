@@ -1,8 +1,10 @@
 package tess
 
 import (
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/diy"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/nbody"
@@ -90,6 +92,43 @@ func NewBoundedConfig(domain geom.Box) Config {
 func Tessellate(cfg Config, particles []Particle, numBlocks int) (*Output, error) {
 	return core.Run(cfg, particles, numBlocks)
 }
+
+// Run executes a standalone tessellation pass (identical to Tessellate;
+// the name matches the driver it wraps). It is the fault-contained entry
+// point an in situ host should call: a rank that panics — whether a
+// genuine engine bug or an injected Config.Faults crash — surfaces as an
+// error whose chain contains a *RankError (and ErrWorldAborted), never a
+// process exit; with Config.StallTimeout armed, a communication deadlock
+// surfaces as a *StallError wait-for dump instead of a hang.
+func Run(cfg Config, particles []Particle, numBlocks int) (*Output, error) {
+	return core.Run(cfg, particles, numBlocks)
+}
+
+// FaultPlan is the deterministic fault-injection plan attachable to
+// Config.Faults: seeded per-rank compute slowdowns, message delivery
+// delays, and rank crash-at-step-N. Delay-only plans leave the output
+// byte-identical to a fault-free run; crash plans make the run return an
+// error carrying a *RankError. See internal/faultinject.
+type FaultPlan = faultinject.Plan
+
+// FaultCrash is the panic value of an injected crash, recoverable from a
+// failed run's error chain via errors.As (it sits inside the RankError).
+type FaultCrash = faultinject.Crash
+
+// RankError reports a single failing rank: the value it panicked with (or
+// the error it returned) plus the goroutine stack for panics. Extract it
+// from a failed run with errors.As.
+type RankError = comm.RankError
+
+// StallError is the stall watchdog's diagnosis of a communication
+// deadlock: a wait-for-graph dump of what every rank was blocked on when
+// no progress had been made for Config.StallTimeout.
+type StallError = comm.StallError
+
+// ErrWorldAborted is the sentinel present (via errors.Is) in every error
+// produced by a run that was aborted — by a rank failure, an injected
+// crash, or the stall watchdog.
+var ErrWorldAborted = comm.ErrWorldAborted
 
 // EffectiveWorkers reports the intra-rank worker count a tessellation pass
 // would use when concurrentRanks ranks run at once: cfg.Workers if set,
