@@ -12,7 +12,7 @@ GO ?= go
 # than letting CI sit for the default 10 minutes.
 TEST_TIMEOUT ?= 4m
 
-.PHONY: build test vet lint race cover faults check bench
+.PHONY: build test vet lint race cover faults check bench bench-insitu
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,8 @@ check: vet lint race cover faults
 # Headline perf benches: worker-pool scaling and allocation counts.
 bench:
 	$(GO) test -run '^$$' -bench 'ComputeParallelism|ComputeCellAllocs' -benchmem -benchtime 2x .
+
+# Persistent-session benchmark: cold (Run per step) vs warm (Session.Step)
+# on evolving N-body snapshots; writes BENCH_insitu.json.
+bench-insitu:
+	$(GO) run ./cmd/tessbench -insitu -insitu-json BENCH_insitu.json

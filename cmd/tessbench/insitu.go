@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diy"
+	"repro/internal/geom"
+	"repro/internal/nbody"
+)
+
+// The -insitu mode measures what the persistent-session API buys: the
+// steady-state per-step cost of tessellating an evolving particle set,
+// cold (one-shot core.Run per step, rebuilding the world, decomposition,
+// and every buffer each time) versus warm (one core.Session stepped
+// repeatedly, reusing all of it). Output bytes are identical on both
+// paths; only the setup and allocation behavior differs.
+
+// insituBenchSide is one side of the cold/warm comparison.
+type insituBenchSide struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	SecPerOp    float64 `json:"sec_per_op"`
+}
+
+// insituBenchResult is the BENCH_insitu.json document.
+type insituBenchResult struct {
+	Ng          int             `json:"ng"`
+	Particles   int             `json:"particles"`
+	Blocks      int             `json:"blocks"`
+	Workers     int             `json:"workers"`
+	Snapshots   int             `json:"snapshots"`
+	Cold        insituBenchSide `json:"cold"`
+	Warm        insituBenchSide `json:"warm"`
+	Speedup     float64         `json:"speedup"`      // cold ns / warm ns
+	AllocsRatio float64         `json:"allocs_ratio"` // cold allocs / warm allocs
+}
+
+func benchSide(r testing.BenchmarkResult) insituBenchSide {
+	return insituBenchSide{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+		SecPerOp:    float64(r.NsPerOp()) / 1e9,
+	}
+}
+
+// benchSnapshots evolves an ng^3 simulation and captures `count`
+// consecutive particle snapshots — genuinely evolving inputs so the warm
+// path's structural reuse is measured on moving particles, not a frozen
+// set.
+func benchSnapshots(ng, count int) [][]diy.Particle {
+	sim, err := nbody.New(nbody.DefaultConfig(ng))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var snaps [][]diy.Particle
+	sim.Run(count, func(s *nbody.Simulation) {
+		snaps = append(snaps, particlesOf(s))
+	})
+	return snaps
+}
+
+func runInSituBench(jsonPath string) {
+	const (
+		ng      = 16
+		blocks  = 4
+		workers = 2
+		nsnaps  = 6
+	)
+	snaps := benchSnapshots(ng, nsnaps)
+	domain := geom.NewBox(geom.V(0, 0, 0), geom.V(ng, ng, ng))
+	cfg := core.Config{
+		Domain:    domain,
+		Periodic:  true,
+		GhostSize: ghostFor(domain, blocks),
+		Workers:   workers,
+	}
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(cfg, snaps[i%len(snaps)], blocks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	sess, err := core.OpenSession(cfg, blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	// Prime the session so the measured loop is pure steady state.
+	if _, err := sess.Step(snaps[0]); err != nil {
+		log.Fatal(err)
+	}
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Step(snaps[i%len(snaps)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	res := insituBenchResult{
+		Ng:        ng,
+		Particles: ng * ng * ng,
+		Blocks:    blocks,
+		Workers:   workers,
+		Snapshots: nsnaps,
+		Cold:      benchSide(cold),
+		Warm:      benchSide(warm),
+	}
+	if res.Warm.NsPerOp > 0 {
+		res.Speedup = float64(res.Cold.NsPerOp) / float64(res.Warm.NsPerOp)
+	}
+	if res.Warm.AllocsPerOp > 0 {
+		res.AllocsRatio = float64(res.Cold.AllocsPerOp) / float64(res.Warm.AllocsPerOp)
+	}
+
+	fmt.Println("IN SITU SESSION: cold (Run per step) vs warm (Session.Step)")
+	fmt.Printf("%d^3 particles, %d blocks, %d workers/block, %d evolving snapshots\n\n",
+		ng, blocks, workers, nsnaps)
+	fmt.Printf("%-6s %12s %14s %14s\n", "", "ns/op", "allocs/op", "B/op")
+	fmt.Printf("%-6s %12d %14d %14d\n", "cold", res.Cold.NsPerOp, res.Cold.AllocsPerOp, res.Cold.BytesPerOp)
+	fmt.Printf("%-6s %12d %14d %14d\n", "warm", res.Warm.NsPerOp, res.Warm.AllocsPerOp, res.Warm.BytesPerOp)
+	fmt.Printf("\nspeedup %.2fx, allocs ratio %.1fx\n", res.Speedup, res.AllocsRatio)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}

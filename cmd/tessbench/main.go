@@ -14,6 +14,11 @@
 //	tessbench [-sizes 8,16,32] [-procs 1,2,4,8,16] [-steps 12] [-cull 0.1]
 //	          [-workers N] [-scaling] [-datamodel] [-out DIR]
 //	tessbench -faults [-seed N]
+//	tessbench -insitu [-insitu-json FILE]
+//
+// The -insitu mode benchmarks the persistent-session API: the steady-state
+// per-step cost of repeated tessellation through one Session (warm) against
+// a fresh one-shot Run per step (cold), on evolving N-body snapshots.
 //
 // The -faults mode runs the graceful-degradation battery instead of the
 // performance tables: seeded crash-at-step-N plans across 2- and 8-block
@@ -56,6 +61,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "intra-rank compute workers per block (0 = GOMAXPROCS; ranks are timed one at a time so each gets the whole machine)")
 		faults    = flag.Bool("faults", false, "run the fault-injection battery instead of the performance tables")
 		seed      = flag.Int64("seed", 1, "fault-injection seed for -faults (same seed, same schedule)")
+		insitu    = flag.Bool("insitu", false, "benchmark cold (Run per step) vs warm (persistent Session) in situ stepping instead of the performance tables")
+		insituOut = flag.String("insitu-json", "", "write the -insitu comparison to this JSON file")
 	)
 	flag.Parse()
 
@@ -63,6 +70,10 @@ func main() {
 		if !runFaultBattery(*seed) {
 			os.Exit(1)
 		}
+		return
+	}
+	if *insitu {
+		runInSituBench(*insituOut)
 		return
 	}
 

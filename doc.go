@@ -14,13 +14,26 @@
 //
 // # Modes
 //
-// Standalone mode tessellates an in-memory particle set:
+// Standalone mode tessellates an in-memory particle set in one call:
 //
 //	cfg := tess.NewPeriodicConfig(64) // 64^3 box, ghost size auto
-//	out, err := tess.Tessellate(cfg, particles, 8)
+//	out, err := tess.Run(cfg, particles, 8)
+//
+// Repeated passes over the same domain (the in situ loop) keep a
+// persistent Session open instead, so the world, decomposition, and all
+// per-rank buffers are set up once and reused — byte-identical output, a
+// fraction of the per-step cost:
+//
+//	sess, err := tess.Open(cfg, 8)
+//	defer sess.Close()
+//	for step := range steps {
+//		out, err := sess.Step(particlesAt(step)) // loaned until the next Step
+//		...
+//	}
 //
 // In situ mode runs the tessellation at selected time steps of the built-in
-// particle-mesh N-body simulation (the HACC stand-in):
+// particle-mesh N-body simulation (the HACC stand-in), through one such
+// session; the hook may return an error to abort the run cleanly:
 //
 //	res, err := tess.RunInSitu(tess.InSituConfig{
 //		Sim:    nbody.DefaultConfig(32),

@@ -38,7 +38,7 @@ func main() {
 
 	fmt.Println("Voronoi cell density contrast over time (Figure 11):")
 	fmt.Printf("%-6s %10s %10s %12s %12s\n", "step", "min", "max", "skewness", "kurtosis")
-	snaps, err := tess.RunInSitu(cfg, func(s tess.Snapshot) {
+	snaps, err := tess.RunInSitu(cfg, func(s tess.Snapshot) error {
 		vols := s.Output.Volumes()
 		dens := make([]float64, len(vols))
 		for i, v := range vols {
@@ -48,6 +48,7 @@ func main() {
 		m := stats.ComputeMoments(delta)
 		fmt.Printf("%-6d %10.3f %10.3f %12.3f %12.3f\n",
 			s.Step, m.Min, m.Max, m.Skewness, m.Kurtosis)
+		return nil
 	})
 	if err != nil {
 		log.Fatal(err)

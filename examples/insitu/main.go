@@ -35,13 +35,14 @@ func main() {
 		OutputDir: dir,
 	}
 
-	snaps, err := tess.RunInSitu(cfg, func(s tess.Snapshot) {
+	snaps, err := tess.RunInSitu(cfg, func(s tess.Snapshot) error {
 		vols := s.Output.Volumes()
 		m := stats.ComputeMoments(vols)
 		fmt.Printf("step %3d: %5d cells, sim %8v, tess %8v, "+
 			"volume skewness %.2f, output %.2f MB\n",
 			s.Step, s.Output.Counts.Kept, s.SimTime.Round(1e6), s.TessTime.Round(1e6),
 			m.Skewness, float64(s.Output.Timing.OutputBytes)/1e6)
+		return nil
 	})
 	if err != nil {
 		log.Fatal(err)

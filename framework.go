@@ -58,12 +58,15 @@ func NewLiveServer() *LiveServer { return catalyst.NewServer() }
 // KnownAnalyses lists the analyses a deck may enable.
 func KnownAnalyses() []string { return cosmotools.KnownAnalyses() }
 
-// AutoTessellate is Tessellate with automatic ghost-size determination
-// (the follow-up the paper proposes in Sec. V): the ghost region grows
-// until every cell is proven complete or the decomposition's maximum is
+// AutoTessellate is Run with automatic ghost-size determination (the
+// follow-up the paper proposes in Sec. V): the ghost region grows until
+// every cell is proven complete or the decomposition's maximum is
 // reached. It returns the output and the ghost size used. A zero
 // cfg.GhostSize starts from an estimate based on the mean interparticle
-// spacing. cfg.Workers applies to each attempt exactly as in Tessellate.
+// spacing. Each attempt is one session-backed pass (the ghost size, and
+// with it the exchange geometry, changes between attempts, so attempts
+// cannot share a session); cfg.Workers applies to each attempt exactly as
+// in Run.
 func AutoTessellate(cfg Config, particles []Particle, numBlocks int) (*Output, float64, error) {
 	return core.AutoRun(cfg, particles, numBlocks)
 }

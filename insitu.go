@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/geom"
 	"repro/internal/nbody"
 )
 
@@ -36,7 +37,8 @@ type InSituConfig struct {
 type Snapshot struct {
 	// Step is the simulation step after which the analysis ran.
 	Step int
-	// Output is the tessellation result for this step.
+	// Output is the tessellation result for this step. It is a deep copy
+	// owned by the snapshot (safe to keep across later steps).
 	Output *Output
 	// SimTime is the simulation wall time since the previous snapshot.
 	SimTime time.Duration
@@ -45,19 +47,23 @@ type Snapshot struct {
 }
 
 // RunInSitu runs the simulation with the tessellation embedded at selected
-// time steps. hook, when non-nil, is invoked after each snapshot (the
-// run-time analysis attachment point). It returns all snapshots in step
-// order.
-func RunInSitu(cfg InSituConfig, hook func(Snapshot)) ([]Snapshot, error) {
+// time steps, through one persistent Session whose world, decomposition,
+// and buffers are reused by every selected step. hook, when non-nil, is
+// invoked after each snapshot (the run-time analysis attachment point); a
+// non-nil hook error aborts the run cleanly — the session is closed, the
+// simulation stops at that step, and the error is returned wrapped with
+// the step it occurred at. It returns all snapshots in step order.
+func RunInSitu(cfg InSituConfig, hook func(Snapshot) error) ([]Snapshot, error) {
 	if cfg.Steps <= 0 {
 		return nil, fmt.Errorf("tess: non-positive step count %d", cfg.Steps)
 	}
 	if cfg.Blocks <= 0 {
 		return nil, fmt.Errorf("tess: non-positive block count %d", cfg.Blocks)
 	}
-	if cfg.Tess.Domain.Size() != (Vec3{X: cfg.Sim.BoxSize, Y: cfg.Sim.BoxSize, Z: cfg.Sim.BoxSize}) {
-		return nil, fmt.Errorf("tess: tessellation domain %v does not match simulation box %g",
-			cfg.Tess.Domain.Size(), cfg.Sim.BoxSize)
+	simBox := geom.NewBox(geom.V(0, 0, 0), geom.V(cfg.Sim.BoxSize, cfg.Sim.BoxSize, cfg.Sim.BoxSize))
+	if cfg.Tess.Domain != simBox {
+		return nil, fmt.Errorf("tess: tessellation domain %+v does not match simulation box %+v",
+			cfg.Tess.Domain, simBox)
 	}
 	if cfg.OutputDir != "" {
 		if err := os.MkdirAll(cfg.OutputDir, 0o755); err != nil {
@@ -68,6 +74,11 @@ func RunInSitu(cfg InSituConfig, hook func(Snapshot)) ([]Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	sess, err := Open(cfg.Tess, cfg.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
 
 	var snaps []Snapshot
 	simStart := time.Now()
@@ -77,20 +88,24 @@ func RunInSitu(cfg InSituConfig, hook func(Snapshot)) ([]Snapshot, error) {
 			return
 		}
 		simTime := time.Since(simStart)
-		tcfg := cfg.Tess
+		outputPath := cfg.Tess.OutputPath
 		if cfg.OutputDir != "" {
-			tcfg.OutputPath = filepath.Join(cfg.OutputDir, fmt.Sprintf("tess-step-%04d.out", s.Step))
+			outputPath = filepath.Join(cfg.OutputDir, fmt.Sprintf("tess-step-%04d.out", s.Step))
 		}
 		t0 := time.Now()
-		out, err := Tessellate(tcfg, ParticlesFromSim(s), cfg.Blocks)
+		out, err := sess.StepTo(ParticlesFromSim(s), outputPath)
 		if err != nil {
 			runErr = fmt.Errorf("tess: step %d: %w", s.Step, err)
 			return
 		}
-		snap := Snapshot{Step: s.Step, Output: out, SimTime: simTime, TessTime: time.Since(t0)}
+		// Snapshots outlive the session's per-step output loan; clone.
+		snap := Snapshot{Step: s.Step, Output: out.Clone(), SimTime: simTime, TessTime: time.Since(t0)}
 		snaps = append(snaps, snap)
 		if hook != nil {
-			hook(snap)
+			if err := hook(snap); err != nil {
+				runErr = fmt.Errorf("tess: step %d: hook: %w", s.Step, err)
+				return
+			}
 		}
 		simStart = time.Now()
 	}

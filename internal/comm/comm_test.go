@@ -282,3 +282,31 @@ func TestRankRangeChecks(t *testing.T) {
 		}()
 	}
 }
+
+// A persistent tessellation session reuses one world across many
+// collective passes; repeated Run calls must leave no residue — mailboxes
+// drained, barrier generations consistent, the watchdog re-armed — so a
+// later pass behaves exactly like a first one.
+func TestWorldReusedAcrossRuns(t *testing.T) {
+	w := NewWorld(4, WithWatchdog(2*time.Second))
+	for pass := 0; pass < 5; pass++ {
+		var sum int64
+		err := w.Run(func(rank int) {
+			next := (rank + 1) % 4
+			w.Send(rank, next, 9, rank*10+pass)
+			got := w.Recv(rank, (rank+3)%4, 9).(int)
+			w.BarrierRank(rank)
+			total := Allreduce(w, rank, int64(got), SumInt64)
+			if rank == 0 {
+				atomic.StoreInt64(&sum, total)
+			}
+		})
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		want := int64(0+10+20+30) + int64(4*pass)
+		if got := atomic.LoadInt64(&sum); got != want {
+			t.Errorf("pass %d: allreduce sum %d, want %d", pass, got, want)
+		}
+	}
+}

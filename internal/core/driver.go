@@ -1,12 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"sync"
-
-	"repro/internal/comm"
 	"repro/internal/diy"
-	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/obs"
@@ -54,90 +49,38 @@ func (o *Output) labelVoids(threshold float64) {
 // Run executes a complete parallel tessellation: it decomposes the domain
 // into numBlocks blocks, partitions the particles, spawns one rank per
 // block, and runs the tess pipeline collectively. It is the standalone-mode
-// entry point; in situ callers drive TessellateBlock directly from their
-// simulation ranks. Each rank's compute phase additionally fans out over
-// Config.Workers goroutines (by default GOMAXPROCS divided among the
-// numBlocks concurrent ranks), forming the ranks x workers hierarchy
-// described in DESIGN.md.
+// entry point, implemented as a single-step session (OpenSession, one Step,
+// Close); in situ callers that tessellate many snapshots keep the Session
+// open instead and amortize the setup across steps. Each rank's compute
+// phase additionally fans out over Config.Workers goroutines (by default
+// GOMAXPROCS divided among the numBlocks concurrent ranks), forming the
+// ranks x workers hierarchy described in DESIGN.md.
+//
+// The returned Output owns its memory: the session it briefly lived in is
+// closed before Run returns, so nothing will overwrite it.
 func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
-	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
+	s, err := OpenSession(cfg, numBlocks)
 	if err != nil {
 		return nil, err
 	}
-	if err := ValidateGhost(d, cfg.GhostSize); err != nil {
-		return nil, err
-	}
-	for _, p := range particles {
-		if !cfg.Domain.Contains(p.Pos) {
-			return nil, fmt.Errorf("core: particle %d at %v outside domain", p.ID, p.Pos)
-		}
-	}
-	parts := diy.PartitionParticles(d, particles)
+	defer s.Close()
+	return s.Step(particles)
+}
 
-	var opts []comm.Option
-	if cfg.StallTimeout > 0 {
-		opts = append(opts, comm.WithWatchdog(cfg.StallTimeout))
-	}
-	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		inj := faultinject.New(*cfg.Faults, numBlocks)
-		cfg.injector = inj
-		if cfg.Faults.SendDelayMax > 0 {
-			opts = append(opts, comm.WithSendDelay(inj.SendDelay))
+// Clone returns a deep copy of the output that owns all of its memory,
+// detaching it from the session loan it came from (see Session). Void
+// components and the observability snapshot are immutable once built and
+// are shared, not copied.
+func (o *Output) Clone() *Output {
+	out := *o
+	out.Meshes = make([]*meshio.BlockMesh, len(o.Meshes))
+	for i, m := range o.Meshes {
+		if m != nil {
+			out.Meshes[i] = m.Clone()
 		}
 	}
-	w := comm.NewWorld(numBlocks, opts...)
-	if cfg.Recorder != nil {
-		if cfg.Recorder.Ranks() != numBlocks {
-			return nil, fmt.Errorf("core: recorder sized for %d ranks, run has %d blocks", cfg.Recorder.Ranks(), numBlocks)
-		}
-		// Pre-register the pipeline counters so concurrent ranks never race
-		// a first-use registration against in-flight Count calls.
-		registerCounters(cfg.Recorder)
-		w.SetRecorder(cfg.Recorder)
-	}
-	out := &Output{Meshes: make([]*meshio.BlockMesh, numBlocks)}
-	errs := make([]error, numBlocks)
-	var mu sync.Mutex
-	runErr := w.Run(func(rank int) {
-		res, tm, err := TessellateBlock(w, d, rank, parts[rank], cfg)
-		if err != nil {
-			errs[rank] = err
-			// Abort the world: the peers of a failed rank are (or soon
-			// will be) blocked in the timing/count collectives below, and
-			// without the abort they would wait forever on a rank that is
-			// never coming.
-			w.Abort(&comm.RankError{Rank: rank, Value: err})
-			return
-		}
-		gtm := ReduceTiming(w, rank, tm)
-		gcnt := SumCounts(w, rank, res.Counts)
-		gghost := comm.Allreduce(w, rank, int64(res.Ghosts), comm.SumInt64)
-		mu.Lock()
-		out.Meshes[rank] = res.Mesh
-		if rank == 0 {
-			out.Timing = gtm
-			out.Counts = gcnt
-			out.Ghosts = int(gghost)
-		}
-		mu.Unlock()
-	})
-	for r, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: rank %d: %w", r, err)
-		}
-	}
-	if runErr != nil {
-		// A contained panic (or watchdog stall) rather than a returned
-		// pipeline error: surface the structured abort cause.
-		return nil, fmt.Errorf("core: %w", runErr)
-	}
-	if cfg.LabelVoids {
-		out.labelVoids(cfg.VoidThreshold)
-	}
-	if cfg.Recorder != nil {
-		out.Obs = cfg.Recorder.Snapshot()
-	}
-	return out, nil
+	out.Voids = append([]voids.Component(nil), o.Voids...)
+	return &out
 }
 
 // CellSummary is the per-cell view used by the accuracy study and the

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/diy"
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+	"repro/internal/meshio"
+	"repro/internal/obs"
+	"repro/internal/voronoi"
+)
+
+// Names of the session warm-start counters in Config.Recorder (registered
+// alongside the pipeline counters when a session has a recorder).
+const (
+	// CounterSitesWarm counts local sites whose particle moved no farther
+	// than the ghost distance since the previous step, so every retained
+	// structure sized for them is already at working-set size.
+	CounterSitesWarm = "sites-warm"
+	// CounterSitesCold counts sites seen for the first time (or displaced
+	// beyond the ghost distance), including every site of a session's
+	// first step.
+	CounterSitesCold = "sites-cold"
+)
+
+// Session is a persistent tessellation pipeline: the domain decomposition,
+// the communication world, the per-rank ghost-exchange state, the spatial
+// index and compute scratch/pool storage, and the output mesh builders are
+// set up once by OpenSession and reused by every Step. For an in situ loop
+// tessellating many snapshots of the same simulation this amortizes all of
+// the setup and nearly all of the per-step allocation away, while keeping
+// every Step's results byte-identical to a standalone Run of the same
+// particles (tests pin this across block counts, worker counts, and warm
+// versus cold sessions).
+//
+// Reuse across steps is purely structural — buffers, pools, and cached
+// link geometry. No geometric state of the previous tessellation seeds the
+// next one: the cell clipping stream is replayed exactly, because its
+// floating-point results are history-dependent (see DESIGN.md, "Session
+// lifecycle & warm-start reuse"). The previous step's site positions are
+// retained only to classify sites warm versus cold (displacement within
+// the ghost distance or not), published via WarmStats and the
+// CounterSitesWarm/CounterSitesCold recorder counters.
+//
+// The *Output returned by Step is a loan: its meshes live in the session's
+// retained builders and are overwritten by the next Step. Callers that
+// keep a step's output past the next call must deep-copy it with
+// Output.Clone. A Session is not safe for concurrent use; drive it from
+// one goroutine.
+//
+// After any aborted step (injected crash, watchdog stall, pipeline error)
+// the underlying world is dead and the session is terminally failed: every
+// later Step returns the original abort error immediately, without
+// hanging. Close releases the session; it is idempotent.
+type Session struct {
+	cfg       Config
+	d         *diy.Decomposition
+	w         *comm.World
+	numBlocks int
+
+	steps    int
+	terminal error // sticky first abort; session unusable once set
+	closed   bool
+
+	parts [][]diy.Particle // retained per-rank partition buffers
+	ranks []rankState
+
+	warmID, coldID obs.CounterID // valid when cfg.Recorder != nil
+}
+
+// rankState is the retained per-rank pipeline state of a session.
+type rankState struct {
+	ex  *diy.Exchanger
+	all []geom.Vec3 // merged local+ghost positions, local first
+	ids []int64     // merged IDs, parallel to all
+	ix  voronoi.Index
+	bi  blockIndex
+	cb  computeBuffers
+
+	prev                 map[int64]geom.Vec3 // site positions of the previous step
+	warmSites, coldSites int64               // accumulated across steps
+}
+
+// OpenSession builds the persistent state for repeated tessellation passes
+// of numBlocks blocks under cfg: the decomposition, the communication
+// world (with watchdog and fault injection armed per cfg, the injector's
+// per-rank step counters accumulating across the session's steps), the
+// per-rank exchange state, and the recorder registration. cfg.OutputPath
+// is the default output destination of Step; StepPath overrides it per
+// step.
+func OpenSession(cfg Config, numBlocks int) (*Session, error) {
+	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateGhost(d, cfg.GhostSize); err != nil {
+		return nil, err
+	}
+	var opts []comm.Option
+	if cfg.StallTimeout > 0 {
+		opts = append(opts, comm.WithWatchdog(cfg.StallTimeout))
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj := faultinject.New(*cfg.Faults, numBlocks)
+		cfg.injector = inj
+		if cfg.Faults.SendDelayMax > 0 {
+			opts = append(opts, comm.WithSendDelay(inj.SendDelay))
+		}
+	}
+	s := &Session{
+		cfg:       cfg,
+		d:         d,
+		w:         comm.NewWorld(numBlocks, opts...),
+		numBlocks: numBlocks,
+		ranks:     make([]rankState, numBlocks),
+	}
+	if cfg.Recorder != nil {
+		if cfg.Recorder.Ranks() != numBlocks {
+			return nil, fmt.Errorf("core: recorder sized for %d ranks, run has %d blocks", cfg.Recorder.Ranks(), numBlocks)
+		}
+		// Pre-register the pipeline counters so concurrent ranks never race
+		// a first-use registration against in-flight Count calls.
+		registerCounters(cfg.Recorder)
+		s.warmID = cfg.Recorder.RegisterCounter(CounterSitesWarm)
+		s.coldID = cfg.Recorder.RegisterCounter(CounterSitesCold)
+		s.w.SetRecorder(cfg.Recorder)
+	}
+	for r := range s.ranks {
+		s.ranks[r].ex = diy.NewExchanger(d, r, cfg.GhostSize)
+		s.ranks[r].prev = map[int64]geom.Vec3{}
+	}
+	return s, nil
+}
+
+// Step runs one full tessellation pass over particles through the
+// session's retained state, writing to cfg.OutputPath if set. The returned
+// Output is a loan valid until the next Step (see Session); its content is
+// byte-identical to Run(cfg, particles, numBlocks) with the session's
+// configuration.
+func (s *Session) Step(particles []diy.Particle) (*Output, error) {
+	return s.StepPath(particles, s.cfg.OutputPath)
+}
+
+// StepPath is Step with a per-step output destination (empty writes
+// nothing), the in situ pattern of one file per selected timestep.
+func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output, error) {
+	if s.closed {
+		return nil, fmt.Errorf("core: session is closed")
+	}
+	if s.terminal != nil {
+		return nil, fmt.Errorf("core: session terminally failed at step %d: %w", s.steps, s.terminal)
+	}
+	for _, p := range particles {
+		if !s.cfg.Domain.Contains(p.Pos) {
+			return nil, fmt.Errorf("core: particle %d at %v outside domain", p.ID, p.Pos)
+		}
+	}
+	s.parts = diy.PartitionParticlesInto(s.d, particles, s.parts)
+	rec := s.cfg.Recorder
+	if rec != nil && s.steps > 0 {
+		// Each step gets a fresh observation epoch; counter registrations
+		// (and their IDs) survive the reset.
+		rec.Reset()
+	}
+
+	out := &Output{Meshes: make([]*meshio.BlockMesh, s.numBlocks)}
+	errs := make([]error, s.numBlocks)
+	var mu sync.Mutex
+	runErr := s.w.Run(func(rank int) {
+		res, tm, err := s.tessellateRank(rank, outputPath)
+		if err != nil {
+			errs[rank] = err
+			// Abort the world: the peers of a failed rank are (or soon
+			// will be) blocked in the timing/count collectives below, and
+			// without the abort they would wait forever on a rank that is
+			// never coming.
+			s.w.Abort(&comm.RankError{Rank: rank, Value: err})
+			return
+		}
+		gtm := ReduceTiming(s.w, rank, tm)
+		gcnt := SumCounts(s.w, rank, res.Counts)
+		gghost := comm.Allreduce(s.w, rank, int64(res.Ghosts), comm.SumInt64)
+		mu.Lock()
+		out.Meshes[rank] = res.Mesh
+		if rank == 0 {
+			out.Timing = gtm
+			out.Counts = gcnt
+			out.Ghosts = int(gghost)
+		}
+		mu.Unlock()
+	})
+	if werr := s.w.Err(); werr != nil {
+		// The world is dead (aborted ranks, possibly blocked peers released
+		// by the abort); no further step can run through it.
+		s.terminal = werr
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+	}
+	if runErr != nil {
+		// A contained panic (or watchdog stall) rather than a returned
+		// pipeline error: surface the structured abort cause.
+		return nil, fmt.Errorf("core: %w", runErr)
+	}
+	if s.cfg.LabelVoids {
+		out.labelVoids(s.cfg.VoidThreshold)
+	}
+	if rec != nil {
+		out.Obs = rec.Snapshot()
+	}
+	s.steps++
+	return out, nil
+}
+
+// tessellateRank is the session's per-rank pipeline body — TessellateBlock
+// rebuilt on the rank's retained state (exchanger, merged-point arrays,
+// index, compute buffers, mesh builder). The phase structure, fault
+// checkpoints, recorder spans, and arithmetic are identical to
+// TessellateBlock; only the storage the phases run in is reused.
+func (s *Session) tessellateRank(rank int, outputPath string) (*BlockResult, Timing, error) {
+	var tm Timing
+	rec := s.cfg.Recorder
+	inj := s.cfg.injector
+	rs := &s.ranks[rank]
+	local := s.parts[rank]
+	start := time.Now()
+	block := s.d.Block(rank)
+
+	// Warm/cold bookkeeping: a site is warm when its particle moved at
+	// most the ghost distance since the previous step, the regime the
+	// retained buffers are sized for. The classification is advisory (it
+	// feeds WarmStats and the recorder); the pipeline below runs the same
+	// exact code either way.
+	warm, cold := 0, 0
+	for _, p := range local {
+		if q, ok := rs.prev[p.ID]; ok && q.Dist(p.Pos) <= s.cfg.GhostSize {
+			warm++
+		} else {
+			cold++
+		}
+	}
+	rs.warmSites += int64(warm)
+	rs.coldSites += int64(cold)
+	clear(rs.prev)
+	for _, p := range local {
+		rs.prev[p.ID] = p.Pos
+	}
+
+	// Phase 1: neighborhood ghost exchange, through the retained link
+	// geometry and receive buffers. Fault checkpoints number the pipeline
+	// steps each rank passes, accumulating across the session's steps
+	// (step 1..4 in the first Step, 5..8 in the second, and so on), so a
+	// crash-at-step-N plan can target any step of a long session.
+	inj.Checkpoint(rank, "exchange")
+	t0 := time.Now()
+	sp := rec.Begin(rank, obs.PhaseExchange)
+	ghosts := rs.ex.Exchange(s.w, s.d, rank, local)
+	rec.End(rank, sp)
+	tm.Exchange = time.Since(t0)
+
+	// Phase 2+3: ghost merge into the retained spatial index, then local
+	// cells through the retained compute buffers.
+	inj.Checkpoint(rank, "compute")
+	t0 = time.Now()
+	sp = rec.Begin(rank, obs.PhaseGhostMerge)
+	rs.mergeGhosts(block, local, ghosts, s.cfg)
+	rec.End(rank, sp)
+	sp = rec.Begin(rank, obs.PhaseCompute)
+	res, err := computeIndexedCellsIn(&rs.bi, local, s.cfg, EffectiveWorkers(s.cfg, s.w.Size()), &rs.cb)
+	if err != nil {
+		return nil, tm, err
+	}
+	rec.End(rank, sp)
+	res.Rank = rank
+	tm.Compute = time.Since(t0)
+
+	// Phase 4: collective write.
+	inj.Checkpoint(rank, "output")
+	t0 = time.Now()
+	sp = rec.Begin(rank, obs.PhaseOutput)
+	if outputPath != "" {
+		payload, err := res.Mesh.Encode()
+		if err != nil {
+			return nil, tm, fmt.Errorf("core: rank %d encode: %w", rank, err)
+		}
+		n, err := diy.CollectiveWrite(s.w, rank, outputPath, payload)
+		if err != nil {
+			return nil, tm, err
+		}
+		if rank == 0 {
+			tm.OutputBytes = n
+		}
+	}
+	rec.End(rank, sp)
+	tm.Output = time.Since(t0)
+	tm.Total = time.Since(start)
+	inj.Checkpoint(rank, "done")
+	if rec != nil {
+		ghostsID, keptID, sitesID := registerCounters(rec)
+		rec.Count(rank, ghostsID, int64(res.Ghosts))
+		rec.Count(rank, keptID, res.Counts.Kept)
+		rec.Count(rank, sitesID, res.Counts.Sites)
+		rec.Count(rank, s.warmID, int64(warm))
+		rec.Count(rank, s.coldID, int64(cold))
+	}
+	return res, tm, nil
+}
+
+// mergeGhosts is the retained-storage ghost-merge sub-phase: local and
+// ghost particles concatenate (local first, preserving site order) into
+// the rank's reused arrays, and the spatial index rebuilds in place. The
+// resulting index and clipping box are identical to the single-pass
+// mergeGhosts.
+func (rs *rankState) mergeGhosts(block diy.Block, local, ghosts []diy.Particle, cfg Config) {
+	rs.all, rs.ids = rs.all[:0], rs.ids[:0]
+	for _, p := range local {
+		rs.all = append(rs.all, p.Pos)
+		rs.ids = append(rs.ids, p.ID)
+	}
+	for _, p := range ghosts {
+		rs.all = append(rs.all, p.Pos)
+		rs.ids = append(rs.ids, p.ID)
+	}
+	rs.ix.Rebuild(rs.all, rs.ids, 0)
+	rs.bi = blockIndex{
+		ix:      &rs.ix,
+		initBox: initialClipBox(block, cfg),
+		bounds:  block.Bounds,
+		ghosts:  len(ghosts),
+	}
+}
+
+// Close releases the session. The per-step loan contract ends with it: the
+// last Step's Output stays readable (nothing will overwrite it any more),
+// but no further Step may run. Close is idempotent and returns nil.
+func (s *Session) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Steps returns the number of completed (successful) steps.
+func (s *Session) Steps() int { return s.steps }
+
+// WarmStats returns the cumulative warm/cold site classification over all
+// steps and ranks: warm sites moved at most the ghost distance since the
+// step before, cold sites were new or displaced farther (every site of the
+// first step is cold).
+func (s *Session) WarmStats() (warm, cold int64) {
+	for r := range s.ranks {
+		warm += s.ranks[r].warmSites
+		cold += s.ranks[r].coldSites
+	}
+	return warm, cold
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/diy"
+	"repro/internal/faultinject"
+	"repro/internal/nbody"
+	"repro/internal/obs"
+)
+
+// evolvingSnapshots runs the built-in N-body simulation and captures the
+// particle state after each of the first `count` steps — genuinely
+// evolving inputs (small displacements step to step), the session's target
+// workload.
+func evolvingSnapshots(t testing.TB, ng, count int) [][]diy.Particle {
+	t.Helper()
+	sim, err := nbody.New(nbody.DefaultConfig(ng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps [][]diy.Particle
+	sim.Run(count, func(s *nbody.Simulation) {
+		ps := make([]diy.Particle, len(s.Pos))
+		for i, p := range s.Pos {
+			ps[i] = diy.Particle{ID: int64(i), Pos: p}
+		}
+		snaps = append(snaps, ps)
+	})
+	if len(snaps) != count {
+		t.Fatalf("captured %d snapshots, want %d", len(snaps), count)
+	}
+	return snaps
+}
+
+// encodeMeshes serializes every block mesh of an output.
+func encodeMeshes(t testing.TB, out *Output) [][]byte {
+	t.Helper()
+	enc := make([][]byte, len(out.Meshes))
+	for i, m := range out.Meshes {
+		b, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = b
+	}
+	return enc
+}
+
+// The session's central contract: every Step — first or warm-started,
+// any block count, any worker count — produces output byte-identical to a
+// fresh one-shot Run over the same particles.
+func TestSessionStepByteIdenticalToRun(t *testing.T) {
+	const ng, steps = 8, 3
+	snaps := evolvingSnapshots(t, ng, steps)
+	for _, blocks := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("blocks=%d/workers=%d", blocks, workers), func(t *testing.T) {
+				cfg := baseConfig(float64(ng))
+				cfg.Workers = workers
+				s, err := OpenSession(cfg, blocks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				for step, ps := range snaps {
+					got, err := s.Step(ps)
+					if err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					want, err := Run(cfg, ps, blocks)
+					if err != nil {
+						t.Fatalf("step %d reference: %v", step, err)
+					}
+					if got.Counts != want.Counts {
+						t.Errorf("step %d: counts %+v, want %+v", step, got.Counts, want.Counts)
+					}
+					if got.Ghosts != want.Ghosts {
+						t.Errorf("step %d: ghosts %d, want %d", step, got.Ghosts, want.Ghosts)
+					}
+					gotEnc, wantEnc := encodeMeshes(t, got), encodeMeshes(t, want)
+					for r := range gotEnc {
+						if !bytes.Equal(gotEnc[r], wantEnc[r]) {
+							t.Errorf("step %d: block %d mesh bytes differ from one-shot Run", step, r)
+						}
+					}
+				}
+				if s.Steps() != steps {
+					t.Errorf("Steps() = %d, want %d", s.Steps(), steps)
+				}
+				warm, cold := s.WarmStats()
+				n := int64(ng * ng * ng)
+				if warm+cold != int64(steps)*n {
+					t.Errorf("warm %d + cold %d != %d sites", warm, cold, int64(steps)*n)
+				}
+				if cold < n {
+					t.Errorf("cold %d < %d: the whole first step must be cold", cold, n)
+				}
+				if warm == 0 {
+					t.Error("no warm sites across small-displacement steps")
+				}
+			})
+		}
+	}
+}
+
+// Output.Clone must detach a step's loaned output: after further steps
+// overwrite the session buffers, the clone still matches the reference.
+func TestSessionOutputCloneSurvivesNextStep(t *testing.T) {
+	const ng = 8
+	snaps := evolvingSnapshots(t, ng, 2)
+	cfg := baseConfig(float64(ng))
+	s, err := OpenSession(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	first, err := s.Step(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := first.Clone()
+	wantEnc := encodeMeshes(t, clone)
+	if _, err := s.Step(snaps[1]); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(cfg, snaps[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEnc := encodeMeshes(t, ref)
+	gotEnc := encodeMeshes(t, clone)
+	for r := range gotEnc {
+		if !bytes.Equal(gotEnc[r], wantEnc[r]) || !bytes.Equal(gotEnc[r], refEnc[r]) {
+			t.Errorf("block %d: cloned output changed after the next step", r)
+		}
+	}
+}
+
+// After an injected crash the session must fail terminally: the crashing
+// step returns a structured RankError, and every later step returns an
+// immediate error (no hang) carrying the original abort cause.
+func TestSessionTerminalAfterAbort(t *testing.T) {
+	const ng = 8
+	snaps := evolvingSnapshots(t, ng, 2)
+	cfg := baseConfig(float64(ng))
+	cfg.StallTimeout = 2 * time.Second // belt and braces: any hang becomes a dump
+	// Checkpoints accumulate across steps: 1..4 in the first pass, 5..8 in
+	// the second. Step 6 is the second pass's compute checkpoint.
+	cfg.Faults = &faultinject.Plan{Seed: 7, CrashRank: 1, CrashStep: 6}
+	s, err := OpenSession(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Step(snaps[0]); err != nil {
+		t.Fatalf("first step should succeed, got %v", err)
+	}
+	_, err = s.Step(snaps[1])
+	var re *comm.RankError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("second step: err %v, want *RankError for rank 1", err)
+	}
+	if !errors.Is(err, comm.ErrWorldAborted) {
+		t.Errorf("second step: err %v does not match ErrWorldAborted", err)
+	}
+	start := time.Now()
+	_, err = s.Step(snaps[1])
+	if err == nil {
+		t.Fatal("step after abort succeeded")
+	}
+	if !strings.Contains(err.Error(), "terminally failed") {
+		t.Errorf("post-abort error %v does not name the terminal state", err)
+	}
+	if !errors.Is(err, comm.ErrWorldAborted) {
+		t.Errorf("post-abort error %v does not carry the abort cause", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("post-abort step took %v, want immediate return", elapsed)
+	}
+	if s.Steps() != 1 {
+		t.Errorf("Steps() = %d, want 1 (only the first step completed)", s.Steps())
+	}
+}
+
+// A closed session refuses further steps.
+func TestSessionClosedRefusesStep(t *testing.T) {
+	cfg := baseConfig(10)
+	s, err := OpenSession(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := s.Step(nil); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("step on closed session: err %v, want closed error", err)
+	}
+}
+
+// Each step observes a fresh recorder epoch: per-step counters report that
+// step alone (not a running total), and the session's warm/cold counters
+// are populated.
+func TestSessionRecorderResetsPerStep(t *testing.T) {
+	const ng, blocks = 8, 2
+	snaps := evolvingSnapshots(t, ng, 3)
+	n := int64(ng * ng * ng)
+	cfg := baseConfig(float64(ng))
+	cfg.Recorder = obs.NewRecorder(blocks)
+	s, err := OpenSession(cfg, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for step, ps := range snaps {
+		out, err := s.Step(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Obs == nil {
+			t.Fatal("no obs snapshot despite recorder")
+		}
+		sum := func(name string) int64 {
+			var total int64
+			for _, v := range out.Obs.Counters[name] {
+				total += v
+			}
+			return total
+		}
+		if got := sum(CounterSites); got != n {
+			t.Errorf("step %d: %s = %d, want %d (per-step, not cumulative)", step, CounterSites, got, n)
+		}
+		if got := sum(CounterSitesWarm) + sum(CounterSitesCold); got != n {
+			t.Errorf("step %d: warm+cold counters = %d, want %d", step, got, n)
+		}
+		if step == 0 && sum(CounterSitesWarm) != 0 {
+			t.Errorf("first step reported %d warm sites", sum(CounterSitesWarm))
+		}
+		if step > 0 && sum(CounterSitesWarm) == 0 {
+			t.Errorf("step %d reported no warm sites", step)
+		}
+	}
+}
+
+// The deprecated-alias contract: Run through a session-per-call must keep
+// accepting per-step output paths via StepPath, including the empty path
+// writing nothing.
+func TestSessionStepPathOverridesConfig(t *testing.T) {
+	const ng = 8
+	snaps := evolvingSnapshots(t, ng, 1)
+	dir := t.TempDir()
+	cfg := baseConfig(float64(ng))
+	s, err := OpenSession(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	path := dir + "/step.out"
+	out, err := s.StepPath(snaps[0], path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Timing.OutputBytes <= 0 {
+		t.Errorf("OutputBytes = %d after StepPath with a path", out.Timing.OutputBytes)
+	}
+}

@@ -289,10 +289,18 @@ func mergeGhosts(block diy.Block, local, ghosts []diy.Particle, cfg Config) *blo
 	}
 	return &blockIndex{
 		ix:      voronoi.NewIndex(all, ids, 0),
-		initBox: block.Bounds.Expand(math.Max(cfg.GhostSize, 1e-9*block.Bounds.Size().MaxAbs())),
+		initBox: initialClipBox(block, cfg),
 		bounds:  block.Bounds,
 		ghosts:  len(ghosts),
 	}
+}
+
+// initialClipBox is the starting clipping volume of every local site of a
+// block: the block bounds grown by the ghost distance (or a relative
+// epsilon when there is no ghost region, so sites on the bounds stay
+// strictly inside).
+func initialClipBox(block diy.Block, cfg Config) geom.Box {
+	return block.Bounds.Expand(math.Max(cfg.GhostSize, 1e-9*block.Bounds.Size().MaxAbs()))
 }
 
 // computeBlockCells is the compute stage of one block: Voronoi cells for
@@ -306,14 +314,71 @@ func computeBlockCells(block diy.Block, local, ghosts []diy.Particle, cfg Config
 }
 
 // computeIndexedCells runs the per-site cell pipeline over a merged block
+// index with fresh (single-pass) buffers. See computeIndexedCellsIn.
+func computeIndexedCells(bi *blockIndex, local []diy.Particle, cfg Config, workers int) (*BlockResult, error) {
+	return computeIndexedCellsIn(bi, local, cfg, workers, new(computeBuffers))
+}
+
+// computeBuffers is the retained storage of the compute stage: per-worker
+// scratch spaces and cell pools, the per-site result and error slots, and
+// the mesh builder. A persistent session keeps one per rank so that at
+// steady state the whole compute phase allocates only what the builder's
+// arenas grow by; a fresh zero value gives the classic single-pass
+// behavior.
+type computeBuffers struct {
+	scratches []*voronoi.Scratch
+	pools     []*voronoi.CellPool
+	cells     []*voronoi.Cell
+	errs      []error
+	wcounts   []CellCounts
+	kept      []*voronoi.Cell
+	mb        meshio.MeshBuilder
+}
+
+// ensure readies the buffers for a pass of n sites over workers workers:
+// per-worker state is created on first use and pools are reset (recycling
+// every cell handed out last pass), per-site slots are zeroed.
+func (cb *computeBuffers) ensure(workers, n int) {
+	for len(cb.scratches) < workers {
+		cb.scratches = append(cb.scratches, voronoi.NewScratch())
+		cb.pools = append(cb.pools, new(voronoi.CellPool))
+	}
+	for _, p := range cb.pools[:workers] {
+		p.Reset()
+	}
+	cb.cells = resizeZeroed(cb.cells, n)
+	cb.errs = resizeZeroed(cb.errs, n)
+	cb.wcounts = resizeZeroed(cb.wcounts, workers)
+	cb.kept = cb.kept[:0]
+}
+
+// resizeZeroed returns s resized to n elements, all zero, reusing the
+// backing array when it is large enough.
+func resizeZeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// computeIndexedCellsIn runs the per-site cell pipeline over a merged block
 // index. The per-site loop fans out over a pool of workers goroutines
 // claiming chunks of the site range from an atomic cursor; every worker
-// reuses its own voronoi.Scratch, so the steady state allocates only the
-// cells themselves. The result is independent of the worker count: cells
-// land in per-site slots and are collected in site order, counts are
-// accumulated per worker and summed, and each cell's arithmetic is
-// untouched by the fan-out.
-func computeIndexedCells(bi *blockIndex, local []diy.Particle, cfg Config, workers int) (*BlockResult, error) {
+// reuses its own voronoi.Scratch and detaches finished cells into its own
+// CellPool, so the steady state of a retained cb allocates next to
+// nothing. The result is independent of the worker count: cells land in
+// per-site slots and are collected in site order, counts are accumulated
+// per worker and summed, and each cell's arithmetic is untouched by the
+// fan-out.
+//
+// The returned BlockResult is a loan against cb: its mesh (and the cells
+// it was built from) are valid only until cb's next pass.
+func computeIndexedCellsIn(bi *blockIndex, local []diy.Particle, cfg Config, workers int, cb *computeBuffers) (*BlockResult, error) {
 	ix, initBox := bi.ix, bi.initBox
 
 	// Early-cull diameter bound: a convex cell with diameter d has volume
@@ -328,20 +393,17 @@ func computeIndexedCells(bi *blockIndex, local []diy.Particle, cfg Config, worke
 
 	n := len(local)
 	workers = voronoi.PoolWorkers(workers, n)
-	cells := make([]*voronoi.Cell, n) // per-site slot; nil = culled/deleted
-	errs := make([]error, n)
-	wcounts := make([]CellCounts, workers)
-	scratches := make([]*voronoi.Scratch, workers)
+	cb.ensure(workers, n)
+	cells := cb.cells // per-site slot; nil = culled/deleted
+	errs := cb.errs
+	wcounts := cb.wcounts
 	voronoi.ParallelFor(n, workers, func(lo, hi, w int) {
-		s := scratches[w]
-		if s == nil {
-			s = voronoi.NewScratch()
-			scratches[w] = s
-		}
+		s := cb.scratches[w]
+		pool := cb.pools[w]
 		counts := &wcounts[w]
 		for i := lo; i < hi; i++ {
 			p := local[i]
-			cell, err := voronoi.ComputeCellScratch(ix, p.Pos, p.ID, initBox, s)
+			cell, err := voronoi.ComputeCellPooled(ix, p.Pos, p.ID, initBox, s, pool)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: cell for particle %d: %w", p.ID, err)
 				continue
@@ -392,13 +454,12 @@ func computeIndexedCells(bi *blockIndex, local []diy.Particle, cfg Config, worke
 		counts.CulledExact += wc.CulledExact
 		counts.Kept += wc.Kept
 	}
-	kept := make([]*voronoi.Cell, 0, counts.Kept)
 	for _, c := range cells {
 		if c != nil {
-			kept = append(kept, c)
+			cb.kept = append(cb.kept, c)
 		}
 	}
-	mesh := meshio.BuildBlockMesh(kept, bi.bounds, 0)
+	mesh := cb.mb.Build(cb.kept, bi.bounds, 0)
 	return &BlockResult{Mesh: mesh, Counts: counts, Ghosts: bi.ghosts}, nil
 }
 

@@ -43,6 +43,11 @@ type tessAnalysis struct {
 	minMemb   int
 	spacing   float64
 	domain    geom.Box
+
+	// sess is the persistent tessellation session, opened lazily on the
+	// first invocation and reused for every later step of the run (the
+	// framework calls Close when the pipeline finishes).
+	sess *core.Session
 }
 
 func newTessAnalysis(s *Section, simCfg nbody.Config) (Analysis, error) {
@@ -116,7 +121,7 @@ func (a *tessAnalysis) siteParticles(ctx *Context) ([]diy.Particle, error) {
 func (a *tessAnalysis) Name() string { return "tess" }
 func (a *tessAnalysis) Every() int   { return a.every }
 
-func (a *tessAnalysis) tessConfig(outputDir string, step int) (core.Config, error) {
+func (a *tessAnalysis) tessConfig() (core.Config, error) {
 	cfg := core.Config{
 		Domain:    a.domain,
 		Periodic:  true,
@@ -130,28 +135,42 @@ func (a *tessAnalysis) tessConfig(outputDir string, step int) (core.Config, erro
 	if cfg.GhostSize <= 0 {
 		cfg.GhostSize = core.MaxGhost(d)
 	}
-	if a.write && outputDir != "" {
-		cfg.OutputPath = filepath.Join(outputDir, fmt.Sprintf("tess-step-%04d.out", step))
-	}
-	return cfg, nil
-}
-
-func (a *tessAnalysis) Run(ctx *Context) (Result, error) {
-	cfg, err := a.tessConfig(ctx.OutputDir, ctx.Step)
-	if err != nil {
-		return Result{}, err
-	}
-	sites, err := a.siteParticles(ctx)
-	if err != nil {
-		return Result{}, err
-	}
 	if a.sites == "halos" {
 		// Halo sites are sparse: proving completeness would need a ghost
 		// wider than the blocks; retain the (correct-by-security-radius or
 		// flagged) cells rather than deleting them.
 		cfg.KeepIncomplete = true
 	}
-	out, err := core.Run(cfg, sites, a.blocks)
+	return cfg, nil
+}
+
+// Close releases the analysis's persistent session, if one was opened.
+func (a *tessAnalysis) Close() error {
+	if a.sess != nil {
+		return a.sess.Close()
+	}
+	return nil
+}
+
+func (a *tessAnalysis) Run(ctx *Context) (Result, error) {
+	if a.sess == nil {
+		cfg, err := a.tessConfig()
+		if err != nil {
+			return Result{}, err
+		}
+		if a.sess, err = core.OpenSession(cfg, a.blocks); err != nil {
+			return Result{}, err
+		}
+	}
+	sites, err := a.siteParticles(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	outputPath := ""
+	if a.write && ctx.OutputDir != "" {
+		outputPath = filepath.Join(ctx.OutputDir, fmt.Sprintf("tess-step-%04d.out", ctx.Step))
+	}
+	out, err := a.sess.StepPath(sites, outputPath)
 	if err != nil {
 		return Result{}, err
 	}
@@ -384,6 +403,11 @@ type voidsAnalysis struct {
 	threshold float64 // 0 = mean cell volume
 	domain    geom.Box
 
+	// sess is the persistent tessellation session, opened lazily on the
+	// first invocation (the framework calls Close when the pipeline
+	// finishes).
+	sess *core.Session
+
 	// snapshots accumulate across invocations for feature tracking.
 	snapshots []voidSnapshot
 }
@@ -416,17 +440,30 @@ func newVoidsAnalysis(s *Section, simCfg nbody.Config) (Analysis, error) {
 func (a *voidsAnalysis) Name() string { return "voids" }
 func (a *voidsAnalysis) Every() int   { return a.every }
 
+// Close releases the analysis's persistent session, if one was opened.
+func (a *voidsAnalysis) Close() error {
+	if a.sess != nil {
+		return a.sess.Close()
+	}
+	return nil
+}
+
 func (a *voidsAnalysis) Run(ctx *Context) (Result, error) {
-	d, err := diy.Decompose(a.domain, a.blocks, true)
-	if err != nil {
-		return Result{}, err
+	if a.sess == nil {
+		d, err := diy.Decompose(a.domain, a.blocks, true)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg := core.Config{
+			Domain:    a.domain,
+			Periodic:  true,
+			GhostSize: core.MaxGhost(d),
+		}
+		if a.sess, err = core.OpenSession(cfg, a.blocks); err != nil {
+			return Result{}, err
+		}
 	}
-	cfg := core.Config{
-		Domain:    a.domain,
-		Periodic:  true,
-		GhostSize: core.MaxGhost(d),
-	}
-	out, err := core.Run(cfg, particlesOf(ctx.Sim), a.blocks)
+	out, err := a.sess.Step(particlesOf(ctx.Sim))
 	if err != nil {
 		return Result{}, err
 	}

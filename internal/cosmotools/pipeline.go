@@ -125,6 +125,24 @@ func (p *Pipeline) Hook(totalSteps int) func(*nbody.Simulation) {
 // Err returns the first analysis error, if any.
 func (p *Pipeline) Err() error { return p.err }
 
+// Close releases every analysis that holds persistent resources (the
+// tessellation-backed tools keep a session of retained worlds and buffers
+// open across invocations). It is idempotent and returns the first close
+// error.
+func (p *Pipeline) Close() error {
+	var first error
+	for _, a := range p.Analyses {
+		c, ok := a.(interface{ Close() error })
+		if !ok {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // ResultsFor returns the invocations of one analysis in step order.
 func (p *Pipeline) ResultsFor(name string) []Result {
 	var out []Result
@@ -136,12 +154,14 @@ func (p *Pipeline) ResultsFor(name string) []Result {
 	return out
 }
 
-// Run executes a fresh simulation with the pipeline attached.
+// Run executes a fresh simulation with the pipeline attached, closing the
+// analyses' persistent sessions when the run finishes.
 func (p *Pipeline) Run(simCfg nbody.Config, steps int) error {
 	sim, err := nbody.New(simCfg)
 	if err != nil {
 		return err
 	}
+	defer p.Close()
 	sim.Run(steps, p.Hook(steps))
 	return p.err
 }

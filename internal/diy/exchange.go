@@ -32,31 +32,84 @@ const tagExchange = 100
 // the self-images arrive shifted by the domain period (as required for a
 // correct periodic tessellation).
 func ExchangeGhost(w *comm.World, d *Decomposition, rank int, local []Particle, ghost float64) []Particle {
-	neighbors := d.Neighbors(rank)
+	return NewExchanger(d, rank, ghost).Exchange(w, d, rank, local)
+}
 
-	// Bucket outgoing particles per link. A particle goes to a link when
-	// the neighbor's ghost-expanded bounds contain its shifted position.
-	outgoing := make([][]Particle, len(neighbors))
-	for li, nb := range neighbors {
-		target := d.Block(nb.Rank).Bounds.Expand(ghost)
-		var batch []Particle
-		for _, p := range local {
-			q := p.Pos.Add(nb.Shift)
-			if target.Contains(q) {
-				batch = append(batch, Particle{ID: p.ID, Pos: q})
-			}
-		}
-		outgoing[li] = batch
+// Exchanger is the retained-state form of ExchangeGhost for persistent
+// sessions: the link geometry (neighbor list, ghost-expanded target
+// bounds, destination-rank coalescing) is derived once at construction,
+// and the receive-side buffers (boundary candidate set, ghost
+// concatenation) are reused across calls. Outgoing message payloads are
+// still freshly allocated every call — a sent buffer transfers ownership
+// to the receiver (the comm package's aliasing convention), so they are
+// the one thing an exchanger must never retain.
+//
+// Exchange results are identical to ExchangeGhost in content and order;
+// tests pin this. The returned ghost slice is valid until the next
+// Exchange call. An Exchanger serves one (rank, ghost) pair and is not
+// safe for concurrent use.
+type Exchanger struct {
+	ghost    float64
+	targets  []geom.Box // ghost-expanded neighbor bounds, per link
+	links    []Neighbor
+	dsts     []int   // distinct destination ranks, ascending
+	linksFor [][]int // link indices per destination, aligned with dsts
+
+	// prefilterSlack widens the boundary-candidate test by a relative
+	// epsilon so float roundoff in the per-link containment test can
+	// never make the candidate set miss a particle the exact test would
+	// send; candidates are always re-tested exactly per link.
+	prefilterSlack float64
+
+	boundary []Particle // retained candidate buffer
+	ghosts   []Particle // retained receive buffer
+}
+
+// NewExchanger prepares the retained exchange state for one rank of the
+// decomposition at the given ghost distance.
+func NewExchanger(d *Decomposition, rank int, ghost float64) *Exchanger {
+	e := &Exchanger{
+		ghost:          ghost,
+		links:          d.Neighbors(rank),
+		prefilterSlack: 1e-9 * d.Domain.Size().MaxAbs(),
 	}
-
+	e.targets = make([]geom.Box, len(e.links))
+	for li, nb := range e.links {
+		e.targets[li] = d.Block(nb.Rank).Bounds.Expand(ghost)
+	}
 	// Coalesce links that point at the same rank into one message per
-	// destination rank (message count is what the exchange cost tracks).
-	perRank := make(map[int][]Particle)
-	for li, nb := range neighbors {
-		if _, ok := perRank[nb.Rank]; !ok {
-			perRank[nb.Rank] = nil
+	// destination rank (message count is what the exchange cost tracks),
+	// in ascending rank order so the ghost concatenation order is
+	// deterministic.
+	perRank := map[int][]int{}
+	for li, nb := range e.links {
+		perRank[nb.Rank] = append(perRank[nb.Rank], li)
+	}
+	e.dsts = slices.Sorted(maps.Keys(perRank))
+	e.linksFor = make([][]int, len(e.dsts))
+	for i, dst := range e.dsts {
+		e.linksFor[i] = perRank[dst]
+	}
+	return e
+}
+
+// Exchange runs one collective ghost exchange through the retained state;
+// all ranks of the world must call it (or ExchangeGhost) together. local
+// must be the particles of the rank the Exchanger was built for.
+func (e *Exchanger) Exchange(w *comm.World, d *Decomposition, rank int, local []Particle) []Particle {
+	// Candidate prefilter: a particle can only be within ghost reach of a
+	// neighbor's region if it is within ghost of this block's own
+	// boundary, so the 26 per-link containment tests run over the
+	// boundary shell only. The slack keeps the set a strict superset
+	// under roundoff; the exact per-link test below decides membership,
+	// so the sent batches match the unfiltered scan bit for bit.
+	myBounds := d.Block(rank).Bounds
+	cut := e.ghost + e.prefilterSlack
+	e.boundary = e.boundary[:0]
+	for _, p := range local {
+		if myBounds.InteriorDist(p.Pos) <= cut {
+			e.boundary = append(e.boundary, p)
 		}
-		perRank[nb.Rank] = append(perRank[nb.Rank], outgoing[li]...)
 	}
 
 	// Post all sends, then receive one message from every rank we are
@@ -65,19 +118,29 @@ func ExchangeGhost(w *comm.World, d *Decomposition, rank int, local []Particle, 
 	// within comm's per-pair queue capacity; a send CAN block once a
 	// pair's queue fills (see comm.WithMailboxCapacity), in which case the
 	// blocked send stays abortable and watchdog-visible rather than
-	// silently hanging. Drain in ascending rank order: ranging over the
-	// map directly would randomize the ghost concatenation order run to
-	// run.
-	ranks := slices.Sorted(maps.Keys(perRank))
-	for _, dst := range ranks {
-		w.Send(rank, dst, tagExchange, perRank[dst])
+	// silently hanging.
+	for di, dst := range e.dsts {
+		// One freshly allocated payload per destination: links to the same
+		// rank concatenate in link order, particles in local order — the
+		// same message content ExchangeGhost's per-link bucketing built.
+		var payload []Particle
+		for _, li := range e.linksFor[di] {
+			nb, target := e.links[li], e.targets[li]
+			for _, p := range e.boundary {
+				q := p.Pos.Add(nb.Shift)
+				if target.Contains(q) {
+					payload = append(payload, Particle{ID: p.ID, Pos: q})
+				}
+			}
+		}
+		w.Send(rank, dst, tagExchange, payload)
 	}
-	var ghosts []Particle
-	for _, src := range ranks {
+	e.ghosts = e.ghosts[:0]
+	for _, src := range e.dsts {
 		batch := w.Recv(rank, src, tagExchange).([]Particle)
-		ghosts = append(ghosts, batch...)
+		e.ghosts = append(e.ghosts, batch...)
 	}
-	return ghosts
+	return e.ghosts
 }
 
 // PartitionParticles assigns each particle to the rank whose block contains
@@ -89,6 +152,27 @@ func PartitionParticles(d *Decomposition, particles []Particle) [][]Particle {
 		out[r] = append(out[r], p)
 	}
 	return out
+}
+
+// PartitionParticlesInto is PartitionParticles reusing the per-rank slices
+// of buf (as returned by a previous call; nil starts fresh), so a
+// persistent session partitions each step's particles without reallocating
+// the per-rank arrays once they have grown to the working-set size. The
+// partition content and order match PartitionParticles exactly.
+func PartitionParticlesInto(d *Decomposition, particles []Particle, buf [][]Particle) [][]Particle {
+	n := d.NumBlocks()
+	if cap(buf) < n {
+		buf = append(buf[:cap(buf)], make([][]Particle, n-cap(buf))...)
+	}
+	buf = buf[:n]
+	for r := range buf {
+		buf[r] = buf[r][:0]
+	}
+	for _, p := range particles {
+		r := d.Locate(p.Pos)
+		buf[r] = append(buf[r], p)
+	}
+	return buf
 }
 
 // GatherGhosts computes the same ghost set ExchangeGhost would deliver to

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // ScratchRetain guards the boundary of the scratch-arena pattern: while a
@@ -20,6 +21,15 @@ import (
 // Any named type called Scratch is treated as a scratch arena, so the
 // invariant transfers to future per-worker scratch types, not just
 // voronoi.Scratch.
+//
+// Field stores are policed too: `x.f = s.buf` smuggles the reference out
+// through whatever x is, so it is flagged unless the target is a
+// sanctioned retention site — a Scratch itself (arenas may rewire their
+// own storage), memory already inside a scratch buffer, or a type whose
+// declaration doc carries a //tess:scratchowner marker. The marker is the
+// opt-in for types that legitimately own scratch-lifetime storage (a
+// session-held pool, a cell under construction); marked types take on the
+// documentation burden of saying when their references die.
 var ScratchRetain = &Analyzer{
 	Name: "scratchretain",
 	Doc:  "references into Scratch-owned buffers must not escape the borrowing function",
@@ -27,14 +37,51 @@ var ScratchRetain = &Analyzer{
 }
 
 func runScratchRetain(p *Pass) {
+	owners := scratchOwnerTypes(p)
 	for _, file := range p.Pkg.Files {
 		for _, fs := range funcScopes(p, file) {
-			checkScratchScope(p, fs)
+			checkScratchScope(p, fs, owners)
 		}
 	}
 }
 
-func checkScratchScope(p *Pass, fs funcScope) {
+// scratchOwnerTypes collects the package's named types whose declaration
+// doc carries a //tess:scratchowner marker: sanctioned holders of
+// scratch-lifetime references. (The marker is read from this package's
+// syntax only; cross-package stores of scratch-rooted memory cannot occur
+// because a Scratch's buffers are unexported.)
+func scratchOwnerTypes(p *Pass) map[types.Object]bool {
+	owners := map[types.Object]bool{}
+	mark := func(doc *ast.CommentGroup, name *ast.Ident) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			if strings.Contains(c.Text, "//tess:scratchowner") {
+				if obj := p.ObjectOf(name); obj != nil {
+					owners[obj] = true
+				}
+				return
+			}
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				mark(gd.Doc, ts.Name)
+				mark(ts.Doc, ts.Name)
+			}
+		}
+	}
+	return owners
+}
+
+func checkScratchScope(p *Pass, fs funcScope, owners map[types.Object]bool) {
 	tainted := scratchTaint(p, fs)
 	if tainted == nil {
 		return // no Scratch in sight: the common case, skip the walk
@@ -64,18 +111,29 @@ func checkScratchScope(p *Pass, fs funcScope) {
 				if root == nil {
 					continue
 				}
-				obj := p.ObjectOf(root)
-				if obj == nil || obj.Parent() != p.Pkg.Types.Scope() {
-					continue // only package-level stores escape unconditionally
-				}
 				var rhs ast.Expr
 				if len(st.Rhs) == len(st.Lhs) {
 					rhs = st.Rhs[i]
 				}
-				if rhs != nil && scratchRooted(p, rhs, tainted) && referencesEscape(p, rhs) {
+				if rhs == nil || !scratchRooted(p, rhs, tainted) || !referencesEscape(p, rhs) {
+					continue
+				}
+				obj := p.ObjectOf(root)
+				if obj != nil && obj.Parent() == p.Pkg.Types.Scope() {
 					p.Reportf(st.Pos(),
 						"storing a reference into a Scratch-owned buffer in package-level %s; it will be overwritten by the next cell",
 						root.Name)
+					continue
+				}
+				// Field stores smuggle the reference out through the
+				// holder, unless the holder is a sanctioned owner.
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if scratchOwnerTarget(p, sel.X, tainted, owners) {
+						continue
+					}
+					p.Reportf(st.Pos(),
+						"storing a reference into a Scratch-owned buffer in field %s of a non-scratch-owner type; detach into owned memory or mark the holder //tess:scratchowner",
+						sel.Sel.Name)
 				}
 			}
 		}
@@ -178,6 +236,38 @@ func scratchRooted(p *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
 		return false
 	}
 	return false
+}
+
+// scratchOwnerTarget reports whether a store through base (the selector
+// chain left of the final field) lands in a sanctioned retention site: a
+// Scratch itself, a //tess:scratchowner-marked type anywhere along the
+// chain, or memory that is already scratch-rooted (rewiring inside the
+// arena cannot extend a reference's lifetime).
+func scratchOwnerTarget(p *Pass, base ast.Expr, tainted map[types.Object]bool, owners map[types.Object]bool) bool {
+	if scratchRooted(p, base, tainted) {
+		return true
+	}
+	for {
+		base = ast.Unparen(base)
+		if t := p.TypeOf(base); t != nil {
+			if isScratchType(t) {
+				return true
+			}
+			if n := namedType(t); n != nil && owners[n.Obj()] {
+				return true
+			}
+		}
+		switch x := base.(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		default:
+			return false
+		}
+	}
 }
 
 // referencesEscape reports whether e's value can carry a live reference

@@ -48,3 +48,50 @@ func leakNamed(s *Scratch) (out []float64) {
 func leakGlobal(s *Scratch) {
 	published = s.verts // want `storing a reference into a Scratch-owned buffer in package-level published`
 }
+
+// holder is an ordinary struct: storing scratch-rooted memory into its
+// fields smuggles the reference out through the holder.
+type holder struct {
+	verts []float64
+}
+
+// retainer is a sanctioned owner of scratch-lifetime references (a
+// session-held pool, a cell under construction); the marker opts it out.
+//
+//tess:scratchowner
+type retainer struct {
+	verts []float64
+	inner holder
+}
+
+func leakField(s *Scratch, h *holder) {
+	h.verts = s.verts // want `storing a reference into a Scratch-owned buffer in field verts`
+}
+
+func leakFieldAlias(s *Scratch, h *holder) {
+	v := s.verts[:1]
+	h.verts = v // want `storing a reference into a Scratch-owned buffer in field verts`
+}
+
+// A marked owner may retain scratch-rooted references, anywhere along the
+// selector chain.
+func ownerField(s *Scratch, r *retainer) {
+	r.verts = s.verts
+	r.inner.verts = s.verts
+}
+
+// A scratch rewiring its own storage is the arena working as designed.
+func scratchSelfField(s, other *Scratch) {
+	other.verts = s.verts[:0]
+}
+
+// Stores into memory that is already scratch-rooted cannot extend a
+// reference's lifetime.
+func scratchInteriorField(s *Scratch) {
+	s.loops[0] = s.loops[1]
+}
+
+// Plain values through a field store carry no reference.
+func fieldValue(s *Scratch, h *holder) {
+	h.verts = append([]float64(nil), s.verts[0])
+}

@@ -59,11 +59,51 @@ type weldKey struct{ x, y, z int64 }
 // coordinate quantum used for welding; pass 0 for a default of 1e-7 of the
 // extents' largest side.
 func BuildBlockMesh(cells []*voronoi.Cell, extents geom.Box, weldTol float64) *BlockMesh {
+	return new(MeshBuilder).Build(cells, extents, weldTol)
+}
+
+// MeshBuilder is the retained-state form of BuildBlockMesh: the weld map,
+// the mesh's per-cell arrays, and the face/index arenas are reused across
+// Build calls, so rebuilding a mesh of stable size allocates almost
+// nothing. The built mesh is identical in content to BuildBlockMesh's
+// result but is a loan — it is valid only until the builder's next Build.
+// The zero MeshBuilder is ready to use; a builder is not safe for
+// concurrent use.
+type MeshBuilder struct {
+	m    BlockMesh
+	pool map[weldKey]int32
+
+	// faceArena holds every cell's Faces contiguously, vertArena every
+	// face's Verts; CellConn and FaceConn slices are carved as three-index
+	// subslices, so a growth reallocation strands the old array without
+	// corrupting views already handed out.
+	faceArena []FaceConn
+	vertArena []int32
+}
+
+// Build assembles the data model from computed cells into the builder's
+// retained storage. Arguments are those of BuildBlockMesh; the previous
+// Build's mesh is invalidated.
+func (b *MeshBuilder) Build(cells []*voronoi.Cell, extents geom.Box, weldTol float64) *BlockMesh {
 	if weldTol <= 0 {
 		weldTol = 1e-7 * maxf(extents.Size().MaxAbs(), 1e-30)
 	}
-	m := &BlockMesh{Extents: extents}
-	pool := map[weldKey]int32{}
+	m := &b.m
+	m.Extents = extents
+	m.Verts = m.Verts[:0]
+	m.Particles = m.Particles[:0]
+	m.ParticleIDs = m.ParticleIDs[:0]
+	m.Volumes = m.Volumes[:0]
+	m.Areas = m.Areas[:0]
+	m.Complete = m.Complete[:0]
+	m.Cells = m.Cells[:0]
+	b.faceArena = b.faceArena[:0]
+	b.vertArena = b.vertArena[:0]
+	if b.pool == nil {
+		b.pool = map[weldKey]int32{}
+	} else {
+		clear(b.pool)
+	}
 	q := func(v geom.Vec3) weldKey {
 		return weldKey{
 			x: int64(roundHalf(v.X / weldTol)),
@@ -72,23 +112,26 @@ func BuildBlockMesh(cells []*voronoi.Cell, extents geom.Box, weldTol float64) *B
 		}
 	}
 	for _, c := range cells {
-		var conn CellConn
+		fbase := len(b.faceArena)
 		for _, f := range c.Faces {
-			fc := FaceConn{Neighbor: f.Neighbor, Verts: make([]int32, len(f.Loop))}
-			for i, vi := range f.Loop {
+			vbase := len(b.vertArena)
+			for _, vi := range f.Loop {
 				v := c.Verts[vi]
 				k := q(v)
-				gi, ok := pool[k]
+				gi, ok := b.pool[k]
 				if !ok {
 					gi = int32(len(m.Verts))
 					m.Verts = append(m.Verts, v)
-					pool[k] = gi
+					b.pool[k] = gi
 				}
-				fc.Verts[i] = gi
+				b.vertArena = append(b.vertArena, gi)
 			}
-			conn.Faces = append(conn.Faces, fc)
+			b.faceArena = append(b.faceArena, FaceConn{
+				Neighbor: f.Neighbor,
+				Verts:    b.vertArena[vbase:len(b.vertArena):len(b.vertArena)],
+			})
 		}
-		m.Cells = append(m.Cells, conn)
+		m.Cells = append(m.Cells, CellConn{Faces: b.faceArena[fbase:len(b.faceArena):len(b.faceArena)]})
 		m.Particles = append(m.Particles, c.Site)
 		m.ParticleIDs = append(m.ParticleIDs, c.SiteID)
 		m.Volumes = append(m.Volumes, c.Volume())
@@ -96,6 +139,29 @@ func BuildBlockMesh(cells []*voronoi.Cell, extents geom.Box, weldTol float64) *B
 		m.Complete = append(m.Complete, c.Complete)
 	}
 	return m
+}
+
+// Clone returns a deep copy of the mesh that owns all of its memory,
+// detaching it from any builder or session loan it came from.
+func (m *BlockMesh) Clone() *BlockMesh {
+	out := &BlockMesh{
+		Extents:     m.Extents,
+		Verts:       append([]geom.Vec3(nil), m.Verts...),
+		Particles:   append([]geom.Vec3(nil), m.Particles...),
+		ParticleIDs: append([]int64(nil), m.ParticleIDs...),
+		Volumes:     append([]float64(nil), m.Volumes...),
+		Areas:       append([]float64(nil), m.Areas...),
+		Complete:    append([]bool(nil), m.Complete...),
+		Cells:       make([]CellConn, len(m.Cells)),
+	}
+	for ci, c := range m.Cells {
+		faces := make([]FaceConn, len(c.Faces))
+		for fi, f := range c.Faces {
+			faces[fi] = FaceConn{Neighbor: f.Neighbor, Verts: append([]int32(nil), f.Verts...)}
+		}
+		out.Cells[ci] = CellConn{Faces: faces}
+	}
+	return out
 }
 
 func roundHalf(x float64) float64 {

@@ -145,6 +145,37 @@ func NewRecorder(ranks int) *Recorder {
 	return r
 }
 
+// Reset clears all recorded spans, comm counters, and counter values and
+// starts a new epoch, keeping the counter-name registry (previously issued
+// CounterIDs stay valid) and all per-rank buffer capacity. A persistent
+// tessellation session calls it between steps so each pass's snapshot
+// covers only its own activity, at steady state without allocating.
+//
+// Reset must only be called while no recorded activity is in flight — for
+// a session, between World.Run invocations, whose WaitGroup provides the
+// happens-before edge with every rank's writes.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.epoch = time.Now()
+	for i := range r.ranks {
+		s := &r.ranks[i]
+		s.spans = s.spans[:0]
+		s.phaseTotal = [numPhases]time.Duration{}
+		for p := range s.sentMsgs {
+			s.sentMsgs[p] = 0
+			s.sentBytes[p] = 0
+			s.recvdMsgs[p] = 0
+			s.recvdBytes[p] = 0
+		}
+		s.barrierWait = 0
+		s.collectives = 0
+		s.collectiveBytes = 0
+		s.counters = [MaxCounters]int64{}
+	}
+}
+
 // Ranks returns the world size the recorder was built for, or 0 for a nil
 // recorder.
 func (r *Recorder) Ranks() int {

@@ -1,0 +1,82 @@
+package voronoi
+
+import "repro/internal/geom"
+
+// cellPoolChunk is the number of Cell structs per pool chunk. Chunks are
+// never reallocated once handed out, so pointers into them stay stable
+// while the pool grows.
+const cellPoolChunk = 256
+
+// CellPool is a retention arena for finished cells: ComputeCellPooled
+// detaches each cell it builds into the pool instead of into fresh
+// heap slices, and Reset reclaims every cell's storage at once. A
+// persistent session keeps one pool per compute worker and resets it at
+// the start of each step, so the steady-state cost of a cell drops from
+// four allocations (struct, vertices, faces, loop arena) to zero.
+//
+// Cells handed out by a pool are valid until the pool's next Reset; they
+// must not be retained past it (the session's output loan rule). The pool
+// is not safe for concurrent use; give each worker its own.
+//
+// Like Cell, a CellPool is a sanctioned owner of detached cell storage —
+// never of live Scratch buffers: adopt copies out of the scratch-aliased
+// cell, exactly as Cell.detach does.
+//
+//tess:scratchowner
+type CellPool struct {
+	// chunks hold the Cell structs; a chunk's backing array is fixed at
+	// creation (append never outgrows cellPoolChunk), so &chunk[i] stays
+	// valid while later cells allocate new chunks.
+	chunks [][]Cell
+	cur    int
+
+	// Arenas for the detached slice data. These grow by append; a growth
+	// reallocation strands the old array, but cells carved from it remain
+	// valid (three-index subslices, kept alive by the cells themselves)
+	// and the next Reset reuses only the final, largest array.
+	verts []geom.Vec3
+	faces []Face
+	loops []int
+}
+
+// Reset reclaims every cell previously handed out, keeping all storage
+// for reuse. Cells obtained before the Reset must no longer be read.
+func (p *CellPool) Reset() {
+	for i := range p.chunks {
+		p.chunks[i] = p.chunks[i][:0]
+	}
+	p.cur = 0
+	p.verts = p.verts[:0]
+	p.faces = p.faces[:0]
+	p.loops = p.loops[:0]
+}
+
+// nextCell returns a zeroed *Cell with pool-stable identity.
+func (p *CellPool) nextCell() *Cell {
+	for p.cur < len(p.chunks) && len(p.chunks[p.cur]) == cap(p.chunks[p.cur]) {
+		p.cur++
+	}
+	if p.cur == len(p.chunks) {
+		p.chunks = append(p.chunks, make([]Cell, 0, cellPoolChunk))
+	}
+	c := p.chunks[p.cur]
+	c = append(c, Cell{})
+	p.chunks[p.cur] = c
+	return &c[len(c)-1]
+}
+
+// adopt detaches c (whose Verts and Faces still alias a Scratch) into the
+// pool's arenas, copying exactly what Cell.detach copies so the adopted
+// cell is identical in content to a heap-detached one.
+func (p *CellPool) adopt(c *Cell) {
+	vbase := len(p.verts)
+	p.verts = append(p.verts, c.Verts...)
+	c.Verts = p.verts[vbase:len(p.verts):len(p.verts)]
+	fbase := len(p.faces)
+	for _, f := range c.Faces {
+		start := len(p.loops)
+		p.loops = append(p.loops, f.Loop...)
+		p.faces = append(p.faces, Face{Neighbor: f.Neighbor, Loop: p.loops[start:len(p.loops):len(p.loops)]})
+	}
+	c.Faces = p.faces[fbase:len(p.faces):len(p.faces)]
+}

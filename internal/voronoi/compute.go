@@ -34,13 +34,47 @@ func ComputeCellScratch(ix *Index, site geom.Vec3, id int64, initBox geom.Box, s
 	if err != nil {
 		return nil, err
 	}
+	err = clipCellShells(cell, ix, initBox, s)
+	cell.detach()
+	return cell, err
+}
+
+// ComputeCellPooled is ComputeCellScratch with the finished cell detached
+// into pool instead of fresh heap slices: with a retained pool (reset once
+// per batch) the steady-state construction of a cell allocates nothing at
+// all. The returned cell is bit-identical to the ComputeCellScratch result
+// for the same inputs and stays valid until pool.Reset; a nil pool falls
+// back to ComputeCellScratch.
+func ComputeCellPooled(ix *Index, site geom.Vec3, id int64, initBox geom.Box, s *Scratch, pool *CellPool) (*Cell, error) {
+	if pool == nil {
+		return ComputeCellScratch(ix, site, id, initBox, s)
+	}
+	if s == nil {
+		s = NewScratch()
+	}
+	cell := pool.nextCell()
+	if err := initCellBoxIn(cell, site, id, initBox, s); err != nil {
+		return nil, err
+	}
+	err := clipCellShells(cell, ix, initBox, s)
+	pool.adopt(cell)
+	return cell, err
+}
+
+// clipCellShells is the shared clipping sweep of the ComputeCell variants:
+// expanding grid shells in nearest-first order until the security radius
+// proves the cell final. On return the cell still aliases s; the caller
+// detaches (or pool-adopts) it. The emptied-cell error is returned with
+// the cell state intact, matching the historical ComputeCellScratch
+// behavior of returning both the cell and the error.
+func clipCellShells(cell *Cell, ix *Index, initBox geom.Box, s *Scratch) error {
 	h := ix.MinCellSize()
-	maxShell := ix.MaxShell(site)
+	maxShell := ix.MaxShell(cell.Site)
 	secure := false
 	siteEps := 1e-12 * initBox.Size().MaxAbs()
 
 	for sh := 0; sh <= maxShell; sh++ {
-		s.shell = ix.ShellAppend(site, sh, s.shell[:0])
+		s.shell = ix.ShellAppend(cell.Site, sh, s.shell[:0])
 		maxR := cell.MaxVertexDist()
 		for _, sp := range s.shell {
 			if sp.Dist <= siteEps {
@@ -52,10 +86,9 @@ func ComputeCellScratch(ix *Index, site geom.Vec3, id int64, initBox geom.Box, s
 			if sp.Dist >= 2*maxR {
 				break
 			}
-			if cell.clip(geom.Bisector(site, sp.Pos), sp.ID, s) {
+			if cell.clip(geom.Bisector(cell.Site, sp.Pos), sp.ID, s) {
 				if cell.Empty() {
-					cell.detach()
-					return cell, fmt.Errorf("voronoi: cell of site %v emptied by %v (duplicate points?)", site, sp.Pos)
+					return fmt.Errorf("voronoi: cell of site %v emptied by %v (duplicate points?)", cell.Site, sp.Pos)
 				}
 				maxR = cell.MaxVertexDist()
 			}
@@ -67,8 +100,7 @@ func ComputeCellScratch(ix *Index, site geom.Vec3, id int64, initBox geom.Box, s
 		}
 	}
 	cell.Complete = secure && !cell.HasWall()
-	cell.detach()
-	return cell, nil
+	return nil
 }
 
 // ComputeCellFixedShells is the ablation baseline for the security-radius

@@ -23,16 +23,29 @@ type Index struct {
 // targetPerCell points per grid cell (pass 0 for the default of 4). IDs are
 // parallel to pts and are reported back by Shell.
 func NewIndex(pts []geom.Vec3, ids []int64, targetPerCell float64) *Index {
+	ix := &Index{}
+	ix.Rebuild(pts, ids, targetPerCell)
+	return ix
+}
+
+// Rebuild re-derives the index over a new point set in place, reusing the
+// bucket storage of previous builds: the grid geometry, bucket contents,
+// and traversal order are identical in every respect to a fresh
+// NewIndex(pts, ids, targetPerCell), but at steady state (point counts and
+// spatial extent stable across rebuilds, as for the successive snapshots
+// of an in situ run) no memory is allocated. The zero Index is a valid
+// receiver.
+func (ix *Index) Rebuild(pts []geom.Vec3, ids []int64, targetPerCell float64) {
 	if len(pts) != len(ids) {
 		panic("voronoi: pts and ids length mismatch")
 	}
-	ix := &Index{pts: pts, ids: ids}
+	ix.pts, ix.ids = pts, ids
 	if len(pts) == 0 {
 		ix.dims = [3]int{1, 1, 1}
 		ix.bounds = geom.NewBox(geom.V(0, 0, 0), geom.V(1, 1, 1))
 		ix.h = geom.V(1, 1, 1)
-		ix.buckets = make([][]int32, 1)
-		return ix
+		ix.buckets = ix.resizeBuckets(1)
+		return
 	}
 	if targetPerCell <= 0 {
 		targetPerCell = 4
@@ -58,12 +71,27 @@ func NewIndex(pts []geom.Vec3, ids []int64, targetPerCell float64) *Index {
 		Y: size.Y / float64(ix.dims[1]),
 		Z: size.Z / float64(ix.dims[2]),
 	}
-	ix.buckets = make([][]int32, ix.dims[0]*ix.dims[1]*ix.dims[2])
+	ix.buckets = ix.resizeBuckets(ix.dims[0] * ix.dims[1] * ix.dims[2])
 	for i, p := range pts {
 		b := ix.bucketOf(p)
 		ix.buckets[b] = append(ix.buckets[b], int32(i))
 	}
-	return ix
+}
+
+// resizeBuckets returns the retained bucket table resized to n entries,
+// every entry emptied but keeping its capacity. Entries past a shrink keep
+// their storage too (the table usually bounces back to the same size on
+// the next rebuild).
+func (ix *Index) resizeBuckets(n int) [][]int32 {
+	b := ix.buckets
+	if cap(b) < n {
+		b = append(b[:cap(b)], make([][]int32, n-cap(b))...)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = b[i][:0]
+	}
+	return b
 }
 
 // NumPoints returns the number of indexed points.

@@ -1,0 +1,64 @@
+package tess
+
+import "repro/internal/core"
+
+// Session is a persistent tessellation pipeline for repeated passes over
+// the same domain decomposition — the in situ pattern of tessellating
+// many snapshots of one evolving simulation. Open builds the
+// decomposition, the communication world, and all per-rank exchange,
+// index, scratch, and output buffers once; every Step then reuses them,
+// so at steady state a step allocates a small fraction of what a
+// standalone Run does while producing byte-identical output (pinned by
+// tests across block counts, worker counts, and warm versus cold
+// sessions).
+//
+// The *Output returned by Step is a loan valid until the next Step;
+// deep-copy it with Output.Clone to keep it longer. After an aborted step
+// (rank failure, injected crash, watchdog stall) the session is
+// terminally failed: every later Step returns the original abort error
+// immediately, without hanging. A Session is driven from one goroutine;
+// Close is idempotent.
+type Session struct {
+	s *core.Session
+}
+
+// Open starts a persistent tessellation session over numBlocks blocks.
+// cfg plays the same role as in Run; cfg.OutputPath, if set, is the
+// default destination every Step writes to (use StepTo for per-step
+// paths).
+func Open(cfg Config, numBlocks int) (*Session, error) {
+	s, err := core.OpenSession(cfg, numBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Step runs one tessellation pass over particles through the session's
+// retained state. The result is byte-identical to
+// Run(cfg, particles, numBlocks) and is loaned until the next Step.
+func (s *Session) Step(particles []Particle) (*Output, error) {
+	return s.s.Step(particles)
+}
+
+// StepTo is Step writing this pass's blocks to outputPath (empty writes
+// nothing), overriding cfg.OutputPath — the in situ pattern of one output
+// file per selected timestep.
+func (s *Session) StepTo(particles []Particle, outputPath string) (*Output, error) {
+	return s.s.StepPath(particles, outputPath)
+}
+
+// Close releases the session. The last Step's Output stays readable
+// (nothing will overwrite it any more), but no further Step may run.
+func (s *Session) Close() error { return s.s.Close() }
+
+// Steps returns the number of completed steps.
+func (s *Session) Steps() int { return s.s.Steps() }
+
+// WarmStats returns the cumulative warm/cold site counts over all steps
+// and ranks: a site is warm when its particle moved at most the ghost
+// distance since the previous step (the regime the retained buffers are
+// sized for), cold when new or displaced farther. Every site of the first
+// step is cold. The same numbers reach an attached Recorder as the
+// "sites-warm" and "sites-cold" counters.
+func (s *Session) WarmStats() (warm, cold int64) { return s.s.WarmStats() }

@@ -1,0 +1,145 @@
+package tess
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/nbody"
+)
+
+func TestConfigOptions(t *testing.T) {
+	rec := NewRecorder(4)
+	plan := &FaultPlan{Seed: 1}
+	cfg := NewPeriodicConfig(8,
+		WithWorkers(3),
+		WithGhostSize(3),
+		WithStallTimeout(5*time.Second),
+		WithRecorder(rec),
+		WithFaults(plan),
+		WithOutput("out.bin"),
+	)
+	if cfg.Workers != 3 {
+		t.Errorf("Workers = %d", cfg.Workers)
+	}
+	if cfg.GhostSize != 3 {
+		t.Errorf("GhostSize = %v", cfg.GhostSize)
+	}
+	if cfg.StallTimeout != 5*time.Second {
+		t.Errorf("StallTimeout = %v", cfg.StallTimeout)
+	}
+	if cfg.Recorder != rec || cfg.Faults != plan || cfg.OutputPath != "out.bin" {
+		t.Error("pointer/path options not applied")
+	}
+	if !cfg.Periodic || !cfg.HullPass {
+		t.Error("defaults lost when options applied")
+	}
+	// Later options win over earlier ones.
+	cfg = NewPeriodicConfig(8, WithGhostSize(2), WithGhostSize(3))
+	if cfg.GhostSize != 3 {
+		t.Errorf("last option should win, GhostSize = %v", cfg.GhostSize)
+	}
+}
+
+// The public Session must reproduce Run byte-for-byte across repeated
+// warm steps.
+func TestPublicSessionMatchesRun(t *testing.T) {
+	cfg := NewPeriodicConfig(8, WithGhostSize(3))
+	sess, err := Open(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for _, seed := range []int64{96, 97, 98} {
+		ps := testParticles(seed, 8, 8)
+		got, err := sess.Step(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(cfg, ps, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Counts != want.Counts {
+			t.Errorf("seed %d: counts %+v, want %+v", seed, got.Counts, want.Counts)
+		}
+		for r := range got.Meshes {
+			gb, err := got.Meshes[r].Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb, err := want.Meshes[r].Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gb, wb) {
+				t.Errorf("seed %d: block %d differs from Run", seed, r)
+			}
+		}
+	}
+	if sess.Steps() != 3 {
+		t.Errorf("Steps() = %d", sess.Steps())
+	}
+	warm, cold := sess.WarmStats()
+	if warm+cold != 3*512 {
+		t.Errorf("warm %d + cold %d != %d", warm, cold, 3*512)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(nil); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("step after Close: %v", err)
+	}
+}
+
+func TestPublicSessionStepTo(t *testing.T) {
+	cfg := NewPeriodicConfig(8, WithGhostSize(3))
+	sess, err := Open(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	path := t.TempDir() + "/step.out"
+	if _, err := sess.StepTo(testParticles(96, 8, 8), path); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTessFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 512 {
+		t.Errorf("read back %d records", len(recs))
+	}
+}
+
+// A hook error aborts the in situ run cleanly with the step identified.
+func TestRunInSituHookError(t *testing.T) {
+	cfg := InSituConfig{
+		Sim:    nbody.DefaultConfig(8),
+		Tess:   NewPeriodicConfig(8, WithGhostSize(3)),
+		Steps:  10,
+		Every:  5,
+		Blocks: 2,
+	}
+	calls := 0
+	snaps, err := RunInSitu(cfg, func(s Snapshot) error {
+		calls++
+		return errDeliberate
+	})
+	if err == nil || !strings.Contains(err.Error(), "hook") || !strings.Contains(err.Error(), "step 5") {
+		t.Fatalf("err = %v, want hook error naming step 5", err)
+	}
+	if calls != 1 {
+		t.Errorf("hook ran %d times after erroring", calls)
+	}
+	if snaps != nil {
+		t.Errorf("got %d snapshots from aborted run", len(snaps))
+	}
+}
+
+type deliberateError struct{}
+
+func (deliberateError) Error() string { return "deliberate test failure" }
+
+var errDeliberate = deliberateError{}

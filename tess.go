@@ -1,6 +1,8 @@
 package tess
 
 import (
+	"time"
+
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/diy"
@@ -59,47 +61,89 @@ type Vec3 = geom.Vec3
 // Box is an axis-aligned box.
 type Box = geom.Box
 
+// Option adjusts a Config built by NewPeriodicConfig or NewBoundedConfig.
+// Options are pure sugar over the Config fields — applying them by hand
+// after construction is equivalent.
+type Option func(*Config)
+
+// WithWorkers sets the number of intra-rank compute worker goroutines
+// (Config.Workers; 0 divides GOMAXPROCS among the concurrent ranks).
+// Results are identical for every worker count.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithRecorder attaches an observability recorder (Config.Recorder), sized
+// to the block count of the runs it will observe.
+func WithRecorder(r *Recorder) Option { return func(c *Config) { c.Recorder = r } }
+
+// WithFaults arms the deterministic fault-injection plan (Config.Faults).
+func WithFaults(p *FaultPlan) Option { return func(c *Config) { c.Faults = p } }
+
+// WithStallTimeout arms the communication stall watchdog
+// (Config.StallTimeout).
+func WithStallTimeout(d time.Duration) Option { return func(c *Config) { c.StallTimeout = d } }
+
+// WithGhostSize overrides the ghost-region thickness (Config.GhostSize).
+func WithGhostSize(g float64) Option { return func(c *Config) { c.GhostSize = g } }
+
+// WithOutput directs each pass's collective write to path
+// (Config.OutputPath; a Session's StepPath can override it per step).
+func WithOutput(path string) Option { return func(c *Config) { c.OutputPath = path } }
+
 // NewPeriodicConfig returns a Config for the cosmology case: a periodic
 // cubic box [0, L)^3 with a ghost size of 4 units (adequate for particle
 // sets at ~1 unit mean spacing, per the paper's accuracy study) and the
-// Quickhull geometry pass enabled.
-func NewPeriodicConfig(L float64) Config {
-	return Config{
+// Quickhull geometry pass enabled. Options are applied in order on top of
+// those defaults.
+func NewPeriodicConfig(L float64, opts ...Option) Config {
+	cfg := Config{
 		Domain:    geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L)),
 		Periodic:  true,
 		GhostSize: 4,
 		HullPass:  true,
 	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
 }
 
 // NewBoundedConfig returns a Config for a non-periodic domain; cells
 // touching the domain boundary are reported incomplete and deleted unless
-// KeepIncomplete is set.
-func NewBoundedConfig(domain geom.Box) Config {
-	return Config{
+// KeepIncomplete is set. Options are applied in order on top of the
+// defaults.
+func NewBoundedConfig(domain geom.Box, opts ...Option) Config {
+	cfg := Config{
 		Domain:    domain,
 		Periodic:  false,
 		GhostSize: 4,
 		HullPass:  true,
 	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
 }
 
 // Tessellate runs a standalone-mode parallel tessellation of particles
-// over numBlocks blocks (one concurrent rank per block). Within each rank
-// the compute phase additionally fans out over Config.Workers goroutines
-// (0, the default, divides GOMAXPROCS among the concurrent ranks); the
-// output is identical for every worker count.
+// over numBlocks blocks.
+//
+// Deprecated: Tessellate is the original name of Run and behaves
+// identically; use Run, or Open/Step/Close for repeated passes.
 func Tessellate(cfg Config, particles []Particle, numBlocks int) (*Output, error) {
 	return core.Run(cfg, particles, numBlocks)
 }
 
-// Run executes a standalone tessellation pass (identical to Tessellate;
-// the name matches the driver it wraps). It is the fault-contained entry
-// point an in situ host should call: a rank that panics — whether a
-// genuine engine bug or an injected Config.Faults crash — surfaces as an
-// error whose chain contains a *RankError (and ErrWorldAborted), never a
-// process exit; with Config.StallTimeout armed, a communication deadlock
-// surfaces as a *StallError wait-for dump instead of a hang.
+// Run executes a standalone tessellation pass — a single-step session
+// (Open, one Step, Close) under the hood; callers tessellating many
+// snapshots of the same domain should keep a Session open instead. It is
+// the fault-contained entry point an in situ host should call: a rank that
+// panics — whether a genuine engine bug or an injected Config.Faults crash
+// — surfaces as an error whose chain contains a *RankError (and
+// ErrWorldAborted), never a process exit; with Config.StallTimeout armed,
+// a communication deadlock surfaces as a *StallError wait-for dump instead
+// of a hang. Within each rank the compute phase fans out over
+// Config.Workers goroutines (0, the default, divides GOMAXPROCS among the
+// concurrent ranks); the output is identical for every worker count.
 func Run(cfg Config, particles []Particle, numBlocks int) (*Output, error) {
 	return core.Run(cfg, particles, numBlocks)
 }

@@ -105,7 +105,7 @@ func TestRunInSituSnapshots(t *testing.T) {
 	}
 	cfg.Tess.GhostSize = 3
 	var hooked []int
-	snaps, err := RunInSitu(cfg, func(s Snapshot) { hooked = append(hooked, s.Step) })
+	snaps, err := RunInSitu(cfg, func(s Snapshot) error { hooked = append(hooked, s.Step); return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
