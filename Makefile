@@ -12,7 +12,7 @@ GO ?= go
 # than letting CI sit for the default 10 minutes.
 TEST_TIMEOUT ?= 4m
 
-.PHONY: build test vet lint race cover faults check bench bench-insitu
+.PHONY: build test vet lint race cover faults check bench bench-insitu bench-balance
 
 build:
 	$(GO) build ./...
@@ -63,3 +63,8 @@ bench:
 # on evolving N-body snapshots; writes BENCH_insitu.json.
 bench-insitu:
 	$(GO) run ./cmd/tessbench -insitu -insitu-json BENCH_insitu.json
+
+# Load-balance benchmark: equal-volume grid vs particle-balanced RCB on
+# uniform and clustered inputs; writes BENCH_balance.json.
+bench-balance:
+	$(GO) run ./cmd/tessbench -balance -balance-json BENCH_balance.json

@@ -41,6 +41,7 @@ func run(args []string, w io.Writer) error {
 		seed      = fs.Int64("seed", 1, "lattice perturbation seed")
 		amp       = fs.Float64("amp", 0.6, "perturbation amplitude (fraction of spacing)")
 		ghost     = fs.Float64("ghost", 3, "ghost region size")
+		decomp    = fs.String("decomp", "grid", "block decomposition: grid (equal volume) or rcb (equal particle counts)")
 		outPath   = fs.String("o", "", "write block meshes to this file")
 		trace     = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		canonical = fs.String("canonical", "", "write the canonical merged mesh to this file")
@@ -59,6 +60,14 @@ func run(args []string, w io.Writer) error {
 	cfg.Workers = *workers
 	cfg.OutputPath = *outPath
 	cfg.Recorder = tess.NewRecorder(*blocks)
+	switch *decomp {
+	case "grid":
+		cfg.Decomposition = tess.DecomposeRegular
+	case "rcb":
+		cfg.Decomposition = tess.DecomposeRCB
+	default:
+		return fmt.Errorf("-decomp must be grid or rcb, got %q", *decomp)
+	}
 
 	out, err := tess.Tessellate(cfg, ps, *blocks)
 	if err != nil {
@@ -73,6 +82,8 @@ func run(args []string, w io.Writer) error {
 	s := out.Obs
 	fmt.Fprintf(w, "comm: %d msgs  %d bytes sent  %d bytes received  imbalance %.2f\n",
 		s.TotalSentMsgs, s.TotalSentBytes, s.TotalRecvdBytes, s.ComputeImbalance)
+	fmt.Fprintf(w, "balance: decomp %s  compute imbalance %.2f (slowest/mean)  exchange imbalance %.2f\n",
+		*decomp, s.Imbalance(tess.PhaseCompute), s.Imbalance(tess.PhaseExchange))
 
 	if *trace != "" {
 		if err := s.WriteTraceFile(*trace); err != nil {

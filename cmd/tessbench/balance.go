@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cosmo"
+	"repro/internal/diy"
+	"repro/internal/geom"
+)
+
+// The -balance mode measures what particle-balanced RCB decomposition buys
+// over the equal-volume grid: slowest-rank compute time (the in situ wall
+// time on one core per rank) on a uniform jittered lattice, where the grid
+// is already near-optimal, and on a clustered halo mock, where equal-volume
+// blocks give one rank most of the particles. Each case runs through
+// core.RunTimed so ranks are timed one at a time.
+
+// balanceCase is one (input, decomposition) measurement.
+type balanceCase struct {
+	Input          string  `json:"input"`  // "uniform" or "clustered"
+	Decomp         string  `json:"decomp"` // "grid" or "rcb"
+	ComputeMaxNs   int64   `json:"compute_max_ns"`
+	ComputeMeanNs  int64   `json:"compute_mean_ns"`
+	Imbalance      float64 `json:"imbalance"` // slowest rank / mean rank
+	MaxBlockSites  int     `json:"max_block_sites"`
+	MeanBlockSites int     `json:"mean_block_sites"`
+}
+
+// balanceBenchResult is the BENCH_balance.json document.
+type balanceBenchResult struct {
+	Particles       int           `json:"particles"`
+	Blocks          int           `json:"blocks"`
+	Repeats         int           `json:"repeats"`
+	Cases           []balanceCase `json:"cases"`
+	SpeedupUniform  float64       `json:"speedup_uniform"`   // grid max / rcb max
+	SpeedupCluster  float64       `json:"speedup_clustered"` // grid max / rcb max
+	ImbalanceGrid   float64       `json:"imbalance_grid_clustered"`
+	ImbalanceRCB    float64       `json:"imbalance_rcb_clustered"`
+	ClusterSpeedupB float64       `json:"speedup_clustered_bound"` // acceptance floor
+}
+
+// uniformParticles fills the box with a jittered lattice of side^3 sites —
+// the quasi-uniform control where equal volume already means equal work.
+func uniformParticles(side int, L float64, seed int64) []diy.Particle {
+	rng := rand.New(rand.NewSource(seed))
+	h := L / float64(side)
+	ps := make([]diy.Particle, 0, side*side*side)
+	id := int64(0)
+	for z := 0; z < side; z++ {
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				ps = append(ps, diy.Particle{ID: id, Pos: geom.V(
+					(float64(x)+0.5)*h+(rng.Float64()-0.5)*0.6*h,
+					(float64(y)+0.5)*h+(rng.Float64()-0.5)*0.6*h,
+					(float64(z)+0.5)*h+(rng.Float64()-0.5)*0.6*h,
+				)})
+				id++
+			}
+		}
+	}
+	return ps
+}
+
+// clusteredBenchParticles is the halo mock: most particles in a few tight
+// Plummer spheres, the rest a thin background.
+func clusteredBenchParticles(n int, L float64, seed int64) []diy.Particle {
+	p := cosmo.DefaultClusterParams()
+	p.Seed = seed
+	pos := cosmo.ClusteredPositions(n, L, p)
+	ps := make([]diy.Particle, len(pos))
+	for i, q := range pos {
+		ps[i] = diy.Particle{ID: int64(i), Pos: q}
+	}
+	return ps
+}
+
+// measureBalance runs RunTimed `repeats` times and keeps the fastest
+// slowest-rank compute (min-of-max: the least scheduler-noisy estimate of
+// the deterministic per-rank work).
+func measureBalance(input, decomp string, cfg core.Config, ps []diy.Particle, blocks, repeats int) balanceCase {
+	bc := balanceCase{Input: input, Decomp: decomp}
+	for rep := 0; rep < repeats; rep++ {
+		out, err := core.RunTimed(cfg, ps, blocks)
+		if err != nil {
+			log.Fatalf("balance %s/%s: %v", input, decomp, err)
+		}
+		maxC := out.Timing.Compute
+		meanC := out.SumCompute / time.Duration(blocks)
+		if bc.ComputeMaxNs == 0 || maxC.Nanoseconds() < bc.ComputeMaxNs {
+			bc.ComputeMaxNs = maxC.Nanoseconds()
+			bc.ComputeMeanNs = meanC.Nanoseconds()
+			if meanC > 0 {
+				bc.Imbalance = float64(maxC) / float64(meanC)
+			}
+		}
+		if rep == 0 {
+			d, err := decompFor(cfg, ps, blocks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			parts := diy.PartitionParticles(d, ps)
+			for _, p := range parts {
+				if len(p) > bc.MaxBlockSites {
+					bc.MaxBlockSites = len(p)
+				}
+				bc.MeanBlockSites += len(p)
+			}
+			bc.MeanBlockSites /= blocks
+		}
+	}
+	return bc
+}
+
+// decompFor mirrors core's decomposition choice for site counting.
+func decompFor(cfg core.Config, ps []diy.Particle, blocks int) (*diy.Decomposition, error) {
+	if cfg.Decomposition == core.DecomposeRCB {
+		return diy.DecomposeRCB(cfg.Domain, blocks, cfg.Periodic, ps, cfg.GhostSize)
+	}
+	return diy.Decompose(cfg.Domain, blocks, cfg.Periodic)
+}
+
+func runBalanceBench(jsonPath string) {
+	const (
+		side    = 20 // uniform lattice side: 8000 particles
+		blocks  = 8
+		L       = 20.0
+		repeats = 3
+		seed    = 1
+	)
+	n := side * side * side
+	uniform := uniformParticles(side, L, seed)
+	clustered := clusteredBenchParticles(n, L, seed)
+
+	baseCfg := core.Config{
+		Domain:    geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L)),
+		Periodic:  true,
+		GhostSize: 2,
+		Workers:   1, // one core per rank: imbalance shows as wall time
+	}
+
+	res := balanceBenchResult{
+		Particles: n, Blocks: blocks, Repeats: repeats,
+		ClusterSpeedupB: 1.3,
+	}
+	for _, in := range []struct {
+		name string
+		ps   []diy.Particle
+	}{{"uniform", uniform}, {"clustered", clustered}} {
+		for _, dec := range []struct {
+			name string
+			kind core.DecompKind
+		}{{"grid", core.DecomposeRegular}, {"rcb", core.DecomposeRCB}} {
+			cfg := baseCfg
+			cfg.Decomposition = dec.kind
+			res.Cases = append(res.Cases, measureBalance(in.name, dec.name, cfg, in.ps, blocks, repeats))
+		}
+	}
+
+	find := func(input, decomp string) balanceCase {
+		for _, c := range res.Cases {
+			if c.Input == input && c.Decomp == decomp {
+				return c
+			}
+		}
+		log.Fatalf("missing case %s/%s", input, decomp)
+		return balanceCase{}
+	}
+	ug, ur := find("uniform", "grid"), find("uniform", "rcb")
+	cg, cr := find("clustered", "grid"), find("clustered", "rcb")
+	if ur.ComputeMaxNs > 0 {
+		res.SpeedupUniform = float64(ug.ComputeMaxNs) / float64(ur.ComputeMaxNs)
+	}
+	if cr.ComputeMaxNs > 0 {
+		res.SpeedupCluster = float64(cg.ComputeMaxNs) / float64(cr.ComputeMaxNs)
+	}
+	res.ImbalanceGrid = cg.Imbalance
+	res.ImbalanceRCB = cr.Imbalance
+
+	fmt.Println("LOAD BALANCE: equal-volume grid vs particle-balanced RCB (slowest-rank compute)")
+	fmt.Printf("%d particles, %d blocks, 1 worker/rank, min of %d repeats\n\n", n, blocks, repeats)
+	fmt.Printf("%-10s %-6s %12s %12s %8s %10s\n", "input", "decomp", "max(ms)", "mean(ms)", "imbal", "max sites")
+	for _, c := range res.Cases {
+		fmt.Printf("%-10s %-6s %12.2f %12.2f %8.2f %10d\n",
+			c.Input, c.Decomp, float64(c.ComputeMaxNs)/1e6, float64(c.ComputeMeanNs)/1e6,
+			c.Imbalance, c.MaxBlockSites)
+	}
+	fmt.Printf("\nspeedup (grid max / rcb max): uniform %.2fx, clustered %.2fx (target >= %.1fx)\n",
+		res.SpeedupUniform, res.SpeedupCluster, res.ClusterSpeedupB)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}

@@ -15,10 +15,15 @@
 //	          [-workers N] [-scaling] [-datamodel] [-out DIR]
 //	tessbench -faults [-seed N]
 //	tessbench -insitu [-insitu-json FILE]
+//	tessbench -balance [-balance-json FILE]
 //
 // The -insitu mode benchmarks the persistent-session API: the steady-state
 // per-step cost of repeated tessellation through one Session (warm) against
 // a fresh one-shot Run per step (cold), on evolving N-body snapshots.
+//
+// The -balance mode benchmarks the particle-balanced RCB decomposition
+// against the equal-volume grid on uniform and clustered particle sets,
+// reporting slowest-rank compute times and per-rank imbalance ratios.
 //
 // The -faults mode runs the graceful-degradation battery instead of the
 // performance tables: seeded crash-at-step-N plans across 2- and 8-block
@@ -50,19 +55,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tessbench: ")
 	var (
-		sizes     = flag.String("sizes", "8,16,32", "comma-separated particles per dimension (powers of two)")
-		procs     = flag.String("procs", "1,2,4,8,16", "comma-separated process (block) counts")
-		steps     = flag.Int("steps", 25, "simulation steps before tessellating the largest size (smaller sizes run proportionally more: 25 at 32^3 gives the paper's 100/50/25 schedule)")
-		cull      = flag.Float64("cull", 0.10, "cull the smallest fraction of the cell volume range (the paper's 10%)")
-		scaling   = flag.Bool("scaling", false, "also print the Figure 10 strong/weak scaling series")
-		commTable = flag.Bool("comm", false, "also print the communication-volume table from the observability counters (runs an extra concurrent pass per row)")
-		datamodel = flag.Bool("datamodel", false, "also print the Sec. III-C2 data model statistics")
-		outDir    = flag.String("out", "", "directory for tessellation output files (default: temp, deleted)")
-		workers   = flag.Int("workers", 0, "intra-rank compute workers per block (0 = GOMAXPROCS; ranks are timed one at a time so each gets the whole machine)")
-		faults    = flag.Bool("faults", false, "run the fault-injection battery instead of the performance tables")
-		seed      = flag.Int64("seed", 1, "fault-injection seed for -faults (same seed, same schedule)")
-		insitu    = flag.Bool("insitu", false, "benchmark cold (Run per step) vs warm (persistent Session) in situ stepping instead of the performance tables")
-		insituOut = flag.String("insitu-json", "", "write the -insitu comparison to this JSON file")
+		sizes      = flag.String("sizes", "8,16,32", "comma-separated particles per dimension (powers of two)")
+		procs      = flag.String("procs", "1,2,4,8,16", "comma-separated process (block) counts")
+		steps      = flag.Int("steps", 25, "simulation steps before tessellating the largest size (smaller sizes run proportionally more: 25 at 32^3 gives the paper's 100/50/25 schedule)")
+		cull       = flag.Float64("cull", 0.10, "cull the smallest fraction of the cell volume range (the paper's 10%)")
+		scaling    = flag.Bool("scaling", false, "also print the Figure 10 strong/weak scaling series")
+		commTable  = flag.Bool("comm", false, "also print the communication-volume table from the observability counters (runs an extra concurrent pass per row)")
+		datamodel  = flag.Bool("datamodel", false, "also print the Sec. III-C2 data model statistics")
+		outDir     = flag.String("out", "", "directory for tessellation output files (default: temp, deleted)")
+		workers    = flag.Int("workers", 0, "intra-rank compute workers per block (0 = GOMAXPROCS; ranks are timed one at a time so each gets the whole machine)")
+		faults     = flag.Bool("faults", false, "run the fault-injection battery instead of the performance tables")
+		seed       = flag.Int64("seed", 1, "fault-injection seed for -faults (same seed, same schedule)")
+		insitu     = flag.Bool("insitu", false, "benchmark cold (Run per step) vs warm (persistent Session) in situ stepping instead of the performance tables")
+		insituOut  = flag.String("insitu-json", "", "write the -insitu comparison to this JSON file")
+		balance    = flag.Bool("balance", false, "benchmark equal-volume grid vs particle-balanced RCB decomposition on uniform and clustered inputs instead of the performance tables")
+		balanceOut = flag.String("balance-json", "", "write the -balance comparison to this JSON file")
 	)
 	flag.Parse()
 
@@ -74,6 +81,10 @@ func main() {
 	}
 	if *insitu {
 		runInSituBench(*insituOut)
+		return
+	}
+	if *balance {
+		runBalanceBench(*balanceOut)
 		return
 	}
 

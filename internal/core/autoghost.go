@@ -21,14 +21,35 @@ func EstimateGhost(cfg Config, numParticles, numBlocks int, factor float64) (flo
 	}
 	spacing := math.Cbrt(cfg.Domain.Volume() / float64(numParticles))
 	g := factor * spacing
+	m, err := ghostCeiling(cfg, numBlocks)
+	if err != nil {
+		return 0, err
+	}
+	if g > m {
+		g = m
+	}
+	return g, nil
+}
+
+// ghostCeiling is the largest ghost size cfg's decomposition strategy can
+// support for numBlocks blocks, before any particles are seen. The regular
+// grid is capped by its smallest block side; RCB by the single-wrap
+// periodic-image constraint (half the smallest domain side), or the
+// largest domain side when non-periodic (beyond which a wider ghost cannot
+// reach anything new).
+func ghostCeiling(cfg Config, numBlocks int) (float64, error) {
+	if cfg.Decomposition == DecomposeRCB {
+		s := cfg.Domain.Size()
+		if cfg.Periodic {
+			return math.Min(s.X, math.Min(s.Y, s.Z)) / 2, nil
+		}
+		return math.Max(s.X, math.Max(s.Y, s.Z)), nil
+	}
 	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
 	if err != nil {
 		return 0, err
 	}
-	if m := MaxGhost(d); g > m {
-		g = m
-	}
-	return g, nil
+	return MaxGhost(d), nil
 }
 
 // AutoRun addresses the paper's stated follow-up of determining the ghost
@@ -48,11 +69,10 @@ func AutoRun(cfg Config, particles []diy.Particle, numBlocks int) (*Output, floa
 		}
 		cfg.GhostSize = g
 	}
-	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
+	maxGhost, err := ghostCeiling(cfg, numBlocks)
 	if err != nil {
 		return nil, 0, err
 	}
-	maxGhost := MaxGhost(d)
 	if cfg.GhostSize > maxGhost {
 		cfg.GhostSize = maxGhost
 	}

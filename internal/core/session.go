@@ -69,6 +69,16 @@ type Session struct {
 	parts [][]diy.Particle // retained per-rank partition buffers
 	ranks []rankState
 
+	// Warm re-decomposition state (DecomposeRCB only). The decomposition is
+	// built lazily from the first Step's particles (s.d == nil until then);
+	// after each step the per-rank compute times yield lastImbalance, and
+	// when it crosses cfg.RebalanceThreshold the next Step rebuilds the
+	// decomposition from its particles before partitioning.
+	computeTm     []time.Duration
+	lastImbalance float64
+	rebalanceNow  bool
+	rebalances    int
+
 	warmID, coldID obs.CounterID // valid when cfg.Recorder != nil
 }
 
@@ -93,12 +103,23 @@ type rankState struct {
 // is the default output destination of Step; StepPath overrides it per
 // step.
 func OpenSession(cfg Config, numBlocks int) (*Session, error) {
-	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
-	if err != nil {
-		return nil, err
-	}
-	if err := ValidateGhost(d, cfg.GhostSize); err != nil {
-		return nil, err
+	var d *diy.Decomposition
+	if cfg.Decomposition == DecomposeRCB {
+		// RCB needs particle positions, which Open does not have: the real
+		// decomposition is built by the first Step. Build (and discard) a
+		// particle-free one here so invalid parameters still fail at Open.
+		if _, err := decomposeFor(cfg, numBlocks, nil); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		d, err = decomposeFor(cfg, numBlocks, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := ValidateGhost(d, cfg.GhostSize); err != nil {
+			return nil, err
+		}
 	}
 	var opts []comm.Option
 	if cfg.StallTimeout > 0 {
@@ -113,10 +134,10 @@ func OpenSession(cfg Config, numBlocks int) (*Session, error) {
 	}
 	s := &Session{
 		cfg:       cfg,
-		d:         d,
 		w:         comm.NewWorld(numBlocks, opts...),
 		numBlocks: numBlocks,
 		ranks:     make([]rankState, numBlocks),
+		computeTm: make([]time.Duration, numBlocks),
 	}
 	if cfg.Recorder != nil {
 		if cfg.Recorder.Ranks() != numBlocks {
@@ -130,10 +151,24 @@ func OpenSession(cfg Config, numBlocks int) (*Session, error) {
 		s.w.SetRecorder(cfg.Recorder)
 	}
 	for r := range s.ranks {
-		s.ranks[r].ex = diy.NewExchanger(d, r, cfg.GhostSize)
 		s.ranks[r].prev = map[int64]geom.Vec3{}
 	}
+	if d != nil {
+		s.installDecomposition(d)
+	}
 	return s, nil
+}
+
+// installDecomposition makes d the session's active decomposition and
+// rebuilds the per-rank exchangers for its link geometry. Everything else —
+// compute buffers, index storage, mesh builders, recorder registrations —
+// is deliberately untouched: a re-decomposition is structural, and the
+// retained scratch state carries over.
+func (s *Session) installDecomposition(d *diy.Decomposition) {
+	s.d = d
+	for r := range s.ranks {
+		s.ranks[r].ex = diy.NewExchanger(d, r, s.cfg.GhostSize)
+	}
 }
 
 // Step runs one full tessellation pass over particles through the
@@ -159,6 +194,32 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 			return nil, fmt.Errorf("core: particle %d at %v outside domain", p.ID, p.Pos)
 		}
 	}
+	if s.d == nil || s.rebalanceNow {
+		// First RCB step, or a warm re-decomposition: (re)build the
+		// decomposition from this step's particle positions. Only the
+		// decomposition and link geometry change; all retained buffers and
+		// the recorder carry over, and because each step's geometry depends
+		// only on its own decomposition and particles, the merged canonical
+		// output stays byte-identical to a standalone run.
+		d, err := decomposeFor(s.cfg, s.numBlocks, particles)
+		if err != nil {
+			return nil, err
+		}
+		if err := ValidateGhost(d, s.cfg.GhostSize); err != nil {
+			return nil, err
+		}
+		if s.d != nil {
+			s.rebalances++
+			// Sites land on different ranks now; the warm/cold classifier's
+			// per-rank position memory no longer applies. A rebalanced step
+			// honestly counts as cold.
+			for r := range s.ranks {
+				clear(s.ranks[r].prev)
+			}
+		}
+		s.installDecomposition(d)
+		s.rebalanceNow = false
+	}
 	s.parts = diy.PartitionParticlesInto(s.d, particles, s.parts)
 	rec := s.cfg.Recorder
 	if rec != nil && s.steps > 0 {
@@ -172,6 +233,7 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 	var mu sync.Mutex
 	runErr := s.w.Run(func(rank int) {
 		res, tm, err := s.tessellateRank(rank, outputPath)
+		s.computeTm[rank] = tm.Compute
 		if err != nil {
 			errs[rank] = err
 			// Abort the world: the peers of a failed rank are (or soon
@@ -214,8 +276,30 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 	if rec != nil {
 		out.Obs = rec.Snapshot()
 	}
+	s.lastImbalance = imbalanceRatio(s.computeTm)
+	if s.cfg.Decomposition == DecomposeRCB && s.cfg.RebalanceThreshold > 0 &&
+		s.lastImbalance > s.cfg.RebalanceThreshold {
+		s.rebalanceNow = true
+	}
 	s.steps++
 	return out, nil
+}
+
+// imbalanceRatio is the slowest-over-mean ratio of the per-rank durations
+// (1 = perfectly balanced; 0 when nothing was measured).
+func imbalanceRatio(ds []time.Duration) float64 {
+	var sum, max time.Duration
+	for _, d := range ds {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(ds))
+	return float64(max) / mean
 }
 
 // tessellateRank is the session's per-rank pipeline body — TessellateBlock
@@ -358,3 +442,12 @@ func (s *Session) WarmStats() (warm, cold int64) {
 	}
 	return warm, cold
 }
+
+// Rebalances returns how many warm re-decompositions the session has
+// performed (always 0 without DecomposeRCB and a RebalanceThreshold).
+func (s *Session) Rebalances() int { return s.rebalances }
+
+// LastImbalance returns the compute-phase imbalance ratio (slowest rank
+// over mean) of the most recent step, 0 before the first step. This is the
+// signal compared against Config.RebalanceThreshold.
+func (s *Session) LastImbalance() float64 { return s.lastImbalance }

@@ -34,12 +34,40 @@ import (
 	"repro/internal/voronoi"
 )
 
+// DecompKind selects how the domain is split into blocks.
+type DecompKind int
+
+const (
+	// DecomposeRegular is the paper's regular grid: equal-volume blocks in
+	// a near-cubic arrangement. Simple and decomposition-state-free, but
+	// on clustered particle sets the halo-heavy blocks dominate the
+	// compute phase.
+	DecomposeRegular DecompKind = iota
+	// DecomposeRCB splits the domain by recursive coordinate bisection at
+	// particle-count medians, so every block holds ~equal particle counts
+	// (PARAVT's load-balancing strategy). The decomposition is built from
+	// the particle positions of the run (for a Session, of its first step,
+	// and rebuilt on rebalance); output is byte-identical to the regular
+	// grid after meshio.MergeCanonical.
+	DecomposeRCB
+)
+
 // Config controls one tessellation pass.
 type Config struct {
 	// Domain is the global simulation box.
 	Domain geom.Box
 	// Periodic selects periodic boundary conditions (the cosmology case).
 	Periodic bool
+	// Decomposition selects the block decomposition strategy (default
+	// DecomposeRegular).
+	Decomposition DecompKind
+	// RebalanceThreshold arms warm re-decomposition for Sessions using
+	// DecomposeRCB: after each step the per-rank compute-phase times yield
+	// an imbalance ratio (slowest rank over mean), and when the ratio
+	// exceeds this threshold the next step rebuilds the decomposition from
+	// its particle positions while retaining scratch, pool, and recorder
+	// state. 0 (or a regular decomposition) disables rebalancing.
+	RebalanceThreshold float64
 	// GhostSize is the ghost-region thickness exchanged with neighbors, in
 	// the same units as the domain. The paper recommends at least twice the
 	// expected cell size.
@@ -164,31 +192,41 @@ type BlockResult struct {
 	Ghosts int
 }
 
-// ValidateGhost checks that the ghost size does not exceed the smallest
-// block side of the decomposition. The neighborhood exchange only reaches
-// the 26 adjacent blocks, so a ghost region wider than a block would
-// silently miss particles two blocks away and break the completeness
-// proof; this is the same constraint DIY's nearest-neighbor exchange has.
+// ValidateGhost checks that the ghost size does not exceed what the
+// decomposition's neighborhood links can reach. For a regular grid that is
+// the smallest block side: the exchange only reaches the 26 adjacent
+// blocks, so a ghost region wider than a block would silently miss
+// particles two blocks away and break the completeness proof (the same
+// constraint DIY's nearest-neighbor exchange has). An RCB decomposition
+// carries its own precomputed link reach — its clustered leaves can be
+// arbitrarily thin without losing correctness, so the block-side bound
+// deliberately does not apply.
 func ValidateGhost(d *diy.Decomposition, ghost float64) error {
 	if ghost <= 0 {
 		return nil
 	}
 	if m := MaxGhost(d); ghost > m+1e-12 {
-		return fmt.Errorf("core: ghost size %g exceeds smallest block side %g "+
+		return fmt.Errorf("core: ghost size %g exceeds the decomposition's link reach %g "+
 			"(use fewer blocks or a smaller ghost)", ghost, m)
 	}
 	return nil
 }
 
 // MaxGhost returns the largest valid ghost size for a decomposition: the
-// smallest block side length.
+// smallest block side length for a regular grid, the built-in link reach
+// for RCB.
 func MaxGhost(d *diy.Decomposition) float64 {
-	m := math.Inf(1)
-	for r := 0; r < d.NumBlocks(); r++ {
-		s := d.Block(r).Bounds.Size()
-		m = math.Min(m, math.Min(s.X, math.Min(s.Y, s.Z)))
+	return d.GhostCapacity()
+}
+
+// decomposeFor builds the decomposition a run over numBlocks blocks needs:
+// the regular grid ignores particles; RCB bisects their positions at
+// particle-count medians with links sized for cfg.GhostSize.
+func decomposeFor(cfg Config, numBlocks int, particles []diy.Particle) (*diy.Decomposition, error) {
+	if cfg.Decomposition == DecomposeRCB {
+		return diy.DecomposeRCB(cfg.Domain, numBlocks, cfg.Periodic, particles, cfg.GhostSize)
 	}
-	return m
+	return diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
 }
 
 // TessellateBlock runs the tess pipeline for one rank. All ranks of the

@@ -36,7 +36,7 @@ type TimedOutput struct {
 // the message-based path, and the collective write runs through the real
 // communicator afterwards.
 func RunTimed(cfg Config, particles []diy.Particle, numBlocks int) (*TimedOutput, error) {
-	d, err := diy.Decompose(cfg.Domain, numBlocks, cfg.Periodic)
+	d, err := decomposeFor(cfg, numBlocks, particles)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ package diy
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 )
@@ -32,16 +33,20 @@ type Block struct {
 	Bounds geom.Box
 }
 
-// Decomposition is a regular partition of a rectangular domain into
-// Dims[0]*Dims[1]*Dims[2] blocks.
+// Decomposition is a partition of a rectangular domain into blocks: either
+// a regular Dims[0]*Dims[1]*Dims[2] grid (Decompose) or a
+// particle-balanced recursive-bisection tree (DecomposeRCB, in which case
+// Dims is zero and the grid-coordinate methods do not apply).
 type Decomposition struct {
 	Domain   geom.Box
 	Dims     [3]int
 	Periodic bool
 	blocks   []Block
+	rcb      *rcbState
 }
 
-// Decompose partitions domain into n blocks arranged in a near-cubic grid.
+// Decompose partitions domain into n blocks arranged in a grid chosen to
+// minimize per-block surface area (near-cubic blocks for a cubic domain).
 // It returns an error if n <= 0.
 func Decompose(domain geom.Box, n int, periodic bool) (*Decomposition, error) {
 	if n <= 0 {
@@ -50,7 +55,7 @@ func Decompose(domain geom.Box, n int, periodic bool) (*Decomposition, error) {
 	if domain.Empty() {
 		return nil, fmt.Errorf("diy: empty domain %+v", domain)
 	}
-	dims := factor3(n)
+	dims := factor3(n, domain.Size())
 	d := &Decomposition{Domain: domain, Dims: dims, Periodic: periodic}
 	size := domain.Size()
 	step := geom.Vec3{
@@ -94,22 +99,28 @@ func Decompose(domain geom.Box, n int, periodic bool) (*Decomposition, error) {
 	return d, nil
 }
 
-// factor3 factors n into three near-equal factors (largest first along x).
-func factor3(n int) [3]int {
+// factor3 factors n into per-axis block counts minimizing the surface area
+// of a block for a domain with the given edge lengths — surface area is
+// what the ghost exchange pays for, and for anisotropic domains (or prime
+// n, where the only factorization is a slab) the orientation matters: 7
+// blocks in a 100x10x10 domain must slab the long axis, not produce
+// 1x1x7 slivers. All orientations of every factor triple are scored; ties
+// keep the first candidate in descending-x enumeration order, so cubic
+// domains get the traditional largest-count-first layout.
+func factor3(n int, size geom.Vec3) [3]int {
 	best := [3]int{n, 1, 1}
-	bestScore := score3(best)
-	for a := 1; a*a*a <= n; a++ {
-		if n%a != 0 {
+	bestScore := score3(best, size)
+	for dx := n; dx >= 1; dx-- {
+		if n%dx != 0 {
 			continue
 		}
-		m := n / a
-		for b := a; b*b <= m; b++ {
-			if m%b != 0 {
+		m := n / dx
+		for dy := m; dy >= 1; dy-- {
+			if m%dy != 0 {
 				continue
 			}
-			c := m / b
-			cand := [3]int{c, b, a}
-			if s := score3(cand); s < bestScore {
+			cand := [3]int{dx, dy, m / dy}
+			if s := score3(cand, size); s < bestScore {
 				best, bestScore = cand, s
 			}
 		}
@@ -117,18 +128,17 @@ func factor3(n int) [3]int {
 	return best
 }
 
-// score3 measures how far from cubic a factorization is.
-func score3(f [3]int) int {
-	max, min := f[0], f[0]
-	for _, v := range f[1:] {
-		if v > max {
-			max = v
-		}
-		if v < min {
-			min = v
-		}
-	}
-	return max - min
+// score3 orders factorizations by the surface area of one block when the
+// domain of the given size is cut into f[0]*f[1]*f[2] blocks. The value is
+// the area scaled by the constant f[0]*f[1]*f[2] (= n): written this way
+// each face term is one product with no division, so permutations of the
+// same factors score *exactly* equal on symmetric domains and the
+// enumeration-order tie-break stays deterministic (plain sx*sy+sy*sz+sz*sx
+// ties only up to float addition order).
+func score3(f [3]int, size geom.Vec3) float64 {
+	return size.X*size.Y*float64(f[2]) +
+		size.Y*size.Z*float64(f[0]) +
+		size.Z*size.X*float64(f[1])
 }
 
 // NumBlocks returns the total block count.
@@ -137,10 +147,30 @@ func (d *Decomposition) NumBlocks() int { return len(d.blocks) }
 // Block returns the block owned by rank.
 func (d *Decomposition) Block(rank int) Block { return d.blocks[rank] }
 
+// GhostCapacity returns the largest ghost distance this decomposition's
+// neighborhood links support: for a regular grid the smallest block side
+// (beyond which a ghost region outruns the 26-neighborhood), for an RCB
+// decomposition the ghost margin its links were built with.
+func (d *Decomposition) GhostCapacity() float64 {
+	if d.rcb != nil {
+		return d.rcb.linkGhost
+	}
+	m := math.Inf(1)
+	for _, b := range d.blocks {
+		s := b.Bounds.Size()
+		m = math.Min(m, math.Min(s.X, math.Min(s.Y, s.Z)))
+	}
+	return m
+}
+
 // RankAt returns the rank owning grid coordinates (i, j, k), applying
 // periodic wrap when the decomposition is periodic. Out-of-range
-// coordinates on a non-periodic decomposition return -1.
+// coordinates on a non-periodic decomposition return -1. RCB
+// decompositions have no block grid; RankAt returns -1 for them.
 func (d *Decomposition) RankAt(i, j, k int) int {
+	if d.rcb != nil {
+		return -1
+	}
 	c := [3]int{i, j, k}
 	for a := 0; a < 3; a++ {
 		if c[a] < 0 || c[a] >= d.Dims[a] {
@@ -157,6 +187,9 @@ func (d *Decomposition) RankAt(i, j, k int) int {
 // inside the domain (points exactly on the high boundary are assigned to
 // the last block in that dimension).
 func (d *Decomposition) Locate(p geom.Vec3) int {
+	if d.rcb != nil {
+		return d.locateRCB(p)
+	}
 	size := d.Domain.Size()
 	var c [3]int
 	for a := 0; a < 3; a++ {
@@ -197,12 +230,18 @@ type Neighbor struct {
 	Periodic bool
 }
 
-// Neighbors returns the up-to-26 neighborhood links of rank. With periodic
-// boundaries every block has exactly 26 links (some may reference the same
-// rank when the block grid is thin — e.g. 2 blocks per dimension — or even
-// the block itself for a 1-block dimension; tess relies on the Shift of
-// each link, so duplicates with distinct shifts are preserved).
+// Neighbors returns the neighborhood links of rank. For a regular grid
+// these are the up-to-26 coordinate neighbors: with periodic boundaries
+// every block has exactly 26 links (some may reference the same rank when
+// the block grid is thin — e.g. 2 blocks per dimension — or even the block
+// itself for a 1-block dimension; tess relies on the Shift of each link,
+// so duplicates with distinct shifts are preserved). For an RCB
+// decomposition they are the precomputed box-adjacency links (see
+// DecomposeRCB), returned in deterministic ascending-rank order.
 func (d *Decomposition) Neighbors(rank int) []Neighbor {
+	if d.rcb != nil {
+		return d.rcb.links[rank]
+	}
 	b := d.blocks[rank]
 	size := d.Domain.Size()
 	var out []Neighbor

@@ -32,8 +32,9 @@ func TestFactor3(t *testing.T) {
 		27: {3, 3, 3},
 		64: {4, 4, 4},
 	}
+	cube := geom.V(1, 1, 1)
 	for n, want := range cases {
-		got := factor3(n)
+		got := factor3(n, cube)
 		if got != want {
 			t.Errorf("factor3(%d) = %v, want %v", n, got, want)
 		}
@@ -42,8 +43,34 @@ func TestFactor3(t *testing.T) {
 		}
 	}
 	// Primes degrade gracefully to slabs.
-	if got := factor3(7); got != [3]int{7, 1, 1} {
+	if got := factor3(7, cube); got != [3]int{7, 1, 1} {
 		t.Errorf("factor3(7) = %v", got)
+	}
+}
+
+func TestFactor3AnisotropicOrientation(t *testing.T) {
+	// Prime counts force slabs; the slabs must cut the longest axis so that
+	// block surface area (ghost-exchange cost) stays minimal, instead of
+	// always stacking along x.
+	cases := []struct {
+		n    int
+		size geom.Vec3
+		want [3]int
+	}{
+		{7, geom.V(100, 10, 10), [3]int{7, 1, 1}},
+		{7, geom.V(10, 100, 10), [3]int{1, 7, 1}},
+		{7, geom.V(10, 10, 100), [3]int{1, 1, 7}},
+		{5, geom.V(10, 10, 100), [3]int{1, 1, 5}},
+		// Composite counts orient their factors by aspect ratio too: 12
+		// blocks in a 4:2:1 domain come out near-cubic (6.67x10x10), not
+		// the cube-count layout {3,2,2} (13.3x10x5).
+		{12, geom.V(40, 20, 10), [3]int{6, 2, 1}},
+		{6, geom.V(10, 10, 100), [3]int{1, 1, 6}},
+	}
+	for _, c := range cases {
+		if got := factor3(c.n, c.size); got != c.want {
+			t.Errorf("factor3(%d, %v) = %v, want %v", c.n, c.size, got, c.want)
+		}
 	}
 }
 

@@ -1,0 +1,318 @@
+package diy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Recursive coordinate bisection (RCB) decomposition: instead of the regular
+// grid's equal-volume blocks, the domain is split recursively along the
+// longest axis of each region at the weighted median of the particle
+// positions, so every leaf block holds an approximately equal share of the
+// particles. This is the particle-balancing strategy PARAVT uses for
+// parallel Voronoi at scale: on clustered (evolved N-body) inputs the
+// regular grid concentrates most of the compute phase in a few halo-heavy
+// blocks while void blocks idle, and balancing counts instead of volume is
+// what restores strong scaling.
+//
+// The leaves exactly tile the domain — children share the split coordinate
+// bit-for-bit and outer faces are inherited from the parent, so no roundoff
+// gap or overlap is possible — and ownership keeps the half-open
+// Min <= p < Max convention via the tree walk in Locate (a point exactly at
+// a split plane descends right).
+//
+// Because RCB leaves are not a grid, neighborhood links cannot come from
+// the 26-connected coordinate graph. DecomposeRCB instead precomputes
+// box-adjacency links: block b is a link target of block a (under periodic
+// image shift s) exactly when a's bounds translated by s overlap b's bounds
+// expanded by the ghost distance — the reach of the targeted exchange's
+// containment test. Links are built once for all ranks in mirrored pairs,
+// so the send/receive pattern is symmetric by construction (never split by
+// a one-ulp float disagreement between two ranks), and Neighbors returns
+// them in deterministic order. The Exchanger and GatherGhosts consume them
+// through the same Neighbor interface the grid uses.
+
+// rcbNode is one interior node of the RCB split tree. Children are node
+// indices; a negative child c encodes the leaf block rank ^c.
+type rcbNode struct {
+	axis        int
+	split       float64
+	left, right int32
+}
+
+// rcbState is the RCB-specific portion of a Decomposition.
+type rcbState struct {
+	nodes []rcbNode
+	root  int32
+	// links[rank] is the precomputed adjacency of rank, sorted by target
+	// rank (stable, preserving the mirrored per-pair ordering).
+	links [][]Neighbor
+	// linkGhost is the ghost margin the links were computed for; exchanges
+	// with a larger ghost would need links this decomposition does not
+	// have, which is what GhostCapacity reports.
+	linkGhost float64
+}
+
+// DecomposeRCB partitions domain into n blocks holding approximately equal
+// particle counts, via recursive coordinate bisection of the particle
+// positions. ghost is the largest ghost distance the decomposition's
+// neighborhood links must support (exchanges with any ghost <= this value
+// are correct; see GhostCapacity). Particle positions must lie within the
+// domain. For a periodic domain, ghost must not exceed half the smallest
+// domain side: adjacency uses single-wrap periodic images, the same regime
+// in which a periodic tessellation is well defined.
+func DecomposeRCB(domain geom.Box, n int, periodic bool, particles []Particle, ghost float64) (*Decomposition, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("diy: cannot decompose into %d blocks", n)
+	}
+	if domain.Empty() {
+		return nil, fmt.Errorf("diy: empty domain %+v", domain)
+	}
+	if ghost < 0 {
+		ghost = 0
+	}
+	size := domain.Size()
+	if periodic {
+		minSide := math.Min(size.X, math.Min(size.Y, size.Z))
+		if ghost > minSide/2 {
+			return nil, fmt.Errorf("diy: RCB ghost %g exceeds half the smallest domain side %g "+
+				"(single-wrap periodic links cannot reach farther)", ghost, minSide/2)
+		}
+	}
+	d := &Decomposition{
+		Domain:   domain,
+		Periodic: periodic,
+		rcb:      &rcbState{linkGhost: ghost},
+	}
+	// The builder partitions a scratch copy of the positions in place; the
+	// caller's slice is never reordered.
+	pts := make([]geom.Vec3, len(particles))
+	for i, p := range particles {
+		pts[i] = p.Pos
+	}
+	d.rcb.root = buildRCBTree(d, domain, n, pts)
+	buildRCBLinks(d, ghost)
+	return d, nil
+}
+
+// buildRCBTree recursively splits box into k leaves over pts, appending
+// blocks (rank = emission order, left subtree first) and interior nodes to
+// d. It returns the node reference: non-negative for an interior node
+// index, ^rank for a leaf.
+func buildRCBTree(d *Decomposition, box geom.Box, k int, pts []geom.Vec3) int32 {
+	if k == 1 {
+		rank := len(d.blocks)
+		d.blocks = append(d.blocks, Block{Rank: rank, Bounds: box})
+		return int32(^rank)
+	}
+	kl := k / 2
+	axis := longestAxis(box)
+	split, nLeft := rcbSplit(box, axis, pts, kl, k)
+
+	// Partition pts around the split plane (p < split goes left), keeping
+	// determinism: a stable partition is unnecessary because every later
+	// split re-sorts its own axis, but the counts must match rcbSplit's.
+	i, j := 0, len(pts)
+	for i < j {
+		if pts[i].Component(axis) < split {
+			i++
+		} else {
+			j--
+			pts[i], pts[j] = pts[j], pts[i]
+		}
+	}
+	if i != nLeft {
+		// rcbSplit counts and the partition disagree only if the plane
+		// moved relative to a coordinate — impossible by construction, but
+		// cheap to guard: fall back to the partition's own count.
+		nLeft = i
+	}
+
+	leftBox, rightBox := box, box
+	switch axis {
+	case 0:
+		leftBox.Max.X, rightBox.Min.X = split, split
+	case 1:
+		leftBox.Max.Y, rightBox.Min.Y = split, split
+	default:
+		leftBox.Max.Z, rightBox.Min.Z = split, split
+	}
+
+	idx := len(d.rcb.nodes)
+	d.rcb.nodes = append(d.rcb.nodes, rcbNode{axis: axis, split: split})
+	left := buildRCBTree(d, leftBox, kl, pts[:nLeft])
+	right := buildRCBTree(d, rightBox, k-kl, pts[nLeft:])
+	d.rcb.nodes[idx].left, d.rcb.nodes[idx].right = left, right
+	return int32(idx)
+}
+
+// longestAxis returns the axis index of the box's longest side.
+func longestAxis(box geom.Box) int {
+	s := box.Size()
+	axis, longest := 0, s.X
+	if s.Y > longest {
+		axis, longest = 1, s.Y
+	}
+	if s.Z > longest {
+		axis = 2
+	}
+	return axis
+}
+
+// rcbSplit chooses the split coordinate along axis that sends a kl/k share
+// of pts to the left child (the weighted median), and returns it with the
+// exact number of points strictly below it. Ties on the split coordinate
+// are broken toward the nearest achievable boundary; with no particles (or
+// all coordinates equal) the split falls back to the geometric kl/k
+// fraction of the box.
+func rcbSplit(box geom.Box, axis int, pts []geom.Vec3, kl, k int) (split float64, nLeft int) {
+	lo, hi := box.Min.Component(axis), box.Max.Component(axis)
+	geomSplit := lo + (hi-lo)*float64(kl)/float64(k)
+	if len(pts) == 0 {
+		return geomSplit, 0
+	}
+	cs := make([]float64, len(pts))
+	for i, p := range pts {
+		cs[i] = p.Component(axis)
+	}
+	sort.Float64s(cs)
+	target := float64(len(cs)) * float64(kl) / float64(k)
+
+	// Candidate boundaries sit between consecutive distinct coordinate
+	// values; pick the one whose left count is closest to the target.
+	best, bestCount, found := 0.0, 0, false
+	for i := 1; i < len(cs); i++ {
+		if cs[i] == cs[i-1] {
+			continue
+		}
+		mid := cs[i-1] + (cs[i]-cs[i-1])/2
+		if mid <= cs[i-1] {
+			// The gap is a single ulp and the midpoint rounded down; the
+			// right value itself is a valid plane (points equal to it go
+			// right).
+			mid = cs[i]
+		}
+		if !(mid > lo && mid < hi) {
+			continue
+		}
+		if !found || math.Abs(float64(i)-target) < math.Abs(float64(bestCount)-target) {
+			best, bestCount, found = mid, i, true
+		}
+	}
+	if !found {
+		// All coordinates equal (or every boundary degenerate): split the
+		// box geometrically; counts follow the strict comparison.
+		split = geomSplit
+		if !(split > lo && split < hi) {
+			split = lo + (hi-lo)/2
+		}
+	} else {
+		split = best
+	}
+	nLeft = sort.SearchFloat64s(cs, split)
+	return split, nLeft
+}
+
+// locateRCB walks the split tree; points exactly on a split plane descend
+// right, preserving the half-open Min <= p < Max ownership convention.
+func (d *Decomposition) locateRCB(p geom.Vec3) int {
+	ref := d.rcb.root
+	for ref >= 0 {
+		nd := &d.rcb.nodes[ref]
+		if p.Component(nd.axis) < nd.split {
+			ref = nd.left
+		} else {
+			ref = nd.right
+		}
+	}
+	return int(^ref)
+}
+
+// buildRCBLinks precomputes the adjacency of every rank at the given ghost
+// margin: for each block pair (and each single-wrap periodic image), the
+// link exists when a particle anywhere in the source block could pass the
+// targeted exchange's containment test against the destination's
+// ghost-expanded bounds. Links are created in mirrored pairs (a->b with
+// shift s and b->a with shift -s together, if either direction's float
+// test passes), so the collective exchange's symmetric send/receive
+// pattern can never be broken by rounding.
+func buildRCBLinks(d *Decomposition, ghost float64) {
+	n := len(d.blocks)
+	L := d.Domain.Size()
+	links := make([][]Neighbor, n)
+
+	offsets := rcbImageOffsets(d.Periodic)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			for _, o := range offsets {
+				if a == b {
+					// Self links come in +-s pairs; enumerate the canonical
+					// (lexicographically positive) half only, and skip the
+					// identity.
+					if o[0] < 0 || (o[0] == 0 && (o[1] < 0 || (o[1] == 0 && o[2] <= 0))) {
+						continue
+					}
+				}
+				shift := geom.Vec3{
+					X: float64(o[0]) * L.X,
+					Y: float64(o[1]) * L.Y,
+					Z: float64(o[2]) * L.Z,
+				}
+				neg := geom.Vec3{X: -shift.X, Y: -shift.Y, Z: -shift.Z}
+				if !rcbLinkExists(d.blocks[a].Bounds, d.blocks[b].Bounds, shift, ghost) &&
+					!rcbLinkExists(d.blocks[b].Bounds, d.blocks[a].Bounds, neg, ghost) {
+					continue
+				}
+				periodic := o != [3]int{}
+				dir := [3]int{-o[0], -o[1], -o[2]}
+				rdir := o
+				links[a] = append(links[a], Neighbor{Rank: b, Dir: dir, Shift: shift, Periodic: periodic})
+				links[b] = append(links[b], Neighbor{Rank: a, Dir: rdir, Shift: neg, Periodic: periodic})
+			}
+		}
+	}
+	// Deterministic order, and the property the sequential GatherGhosts
+	// harness relies on: each rank's links grouped by peer in ascending
+	// rank order, with the per-pair sequence identical on both ends
+	// (SliceStable preserves the mirrored insertion order within a pair).
+	for r := range links {
+		sort.SliceStable(links[r], func(i, j int) bool {
+			return links[r][i].Rank < links[r][j].Rank
+		})
+	}
+	d.rcb.links = links
+}
+
+// rcbImageOffsets enumerates the periodic image shifts adjacency must
+// consider: only the identity for bounded domains, all 27 single-wrap
+// offsets for periodic ones.
+func rcbImageOffsets(periodic bool) [][3]int {
+	if !periodic {
+		return [][3]int{{0, 0, 0}}
+	}
+	out := make([][3]int, 0, 27)
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				out = append(out, [3]int{dx, dy, dz})
+			}
+		}
+	}
+	return out
+}
+
+// rcbLinkExists reports whether any point of src, translated by shift,
+// could lie in dst expanded by ghost. The arithmetic mirrors the exchange
+// path exactly — the shifted point is formed with the same Add and tested
+// with the same closed Contains — so rounding that lets a particle pass
+// the exchange test also makes the link exist.
+func rcbLinkExists(src, dst geom.Box, shift geom.Vec3, ghost float64) bool {
+	target := dst.Expand(ghost)
+	shifted := geom.Box{Min: src.Min.Add(shift), Max: src.Max.Add(shift)}
+	return shifted.Min.X <= target.Max.X && shifted.Max.X >= target.Min.X &&
+		shifted.Min.Y <= target.Max.Y && shifted.Max.Y >= target.Min.Y &&
+		shifted.Min.Z <= target.Max.Z && shifted.Max.Z >= target.Min.Z
+}

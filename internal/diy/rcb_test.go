@@ -1,0 +1,337 @@
+package diy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/geom"
+)
+
+func clusteredParticles(n int, L float64, seed int64) []Particle {
+	p := cosmo.DefaultClusterParams()
+	p.Seed = seed
+	pos := cosmo.ClusteredPositions(n, L, p)
+	ps := make([]Particle, len(pos))
+	for i, q := range pos {
+		ps[i] = Particle{ID: int64(i), Pos: q}
+	}
+	return ps
+}
+
+func TestRCBLeavesTileDomain(t *testing.T) {
+	const L = 10.0
+	domain := unitDomain(L)
+	for _, periodic := range []bool{true, false} {
+		for _, blocks := range []int{1, 2, 3, 4, 5, 7, 8, 16} {
+			ps := clusteredParticles(600, L, int64(blocks))
+			d, err := DecomposeRCB(domain, blocks, periodic, ps, 1.5)
+			if err != nil {
+				t.Fatalf("blocks=%d periodic=%v: %v", blocks, periodic, err)
+			}
+			if d.NumBlocks() != blocks {
+				t.Fatalf("blocks=%d: NumBlocks = %d", blocks, d.NumBlocks())
+			}
+			// Volumes sum to the domain volume.
+			var vol float64
+			for r := 0; r < blocks; r++ {
+				b := d.Block(r)
+				if b.Rank != r {
+					t.Fatalf("block %d has Rank %d", r, b.Rank)
+				}
+				if b.Bounds.Empty() {
+					t.Fatalf("block %d empty: %+v", r, b.Bounds)
+				}
+				vol += b.Bounds.Volume()
+			}
+			if math.Abs(vol-L*L*L) > 1e-9*L*L*L {
+				t.Fatalf("blocks=%d: leaves cover volume %v, want %v", blocks, vol, L*L*L)
+			}
+			// Half-open ownership: every sampled point (and every input
+			// particle) belongs to exactly one leaf under Min <= p < Max,
+			// and Locate returns that leaf.
+			rng := rand.New(rand.NewSource(int64(40 + blocks)))
+			probes := make([]geom.Vec3, 0, 700)
+			for i := 0; i < 400; i++ {
+				probes = append(probes, geom.V(rng.Float64()*L, rng.Float64()*L, rng.Float64()*L))
+			}
+			for _, p := range ps[:300] {
+				probes = append(probes, p.Pos)
+			}
+			for _, p := range probes {
+				owner := -1
+				for r := 0; r < blocks; r++ {
+					b := d.Block(r).Bounds
+					if p.X >= b.Min.X && p.X < b.Max.X &&
+						p.Y >= b.Min.Y && p.Y < b.Max.Y &&
+						p.Z >= b.Min.Z && p.Z < b.Max.Z {
+						if owner >= 0 {
+							t.Fatalf("point %v owned by blocks %d and %d", p, owner, r)
+						}
+						owner = r
+					}
+				}
+				if owner < 0 {
+					t.Fatalf("point %v owned by no block", p)
+				}
+				if got := d.Locate(p); got != owner {
+					t.Fatalf("Locate(%v) = %d, want %d", p, got, owner)
+				}
+			}
+		}
+	}
+}
+
+func TestRCBDomainMaxBelongsToLastLeaf(t *testing.T) {
+	const L = 8.0
+	ps := clusteredParticles(200, L, 3)
+	d, err := DecomposeRCB(unitDomain(L), 4, true, ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Locate(geom.V(L, L, L))
+	if !d.Block(r).Bounds.Contains(geom.V(L, L, L)) {
+		t.Fatalf("domain max located in block %d with bounds %+v", r, d.Block(r).Bounds)
+	}
+	if r0 := d.Locate(geom.V(0, 0, 0)); !d.Block(r0).Bounds.Contains(geom.V(0, 0, 0)) {
+		t.Fatalf("origin located in block %d", r0)
+	}
+}
+
+func TestRCBBalancesParticleCounts(t *testing.T) {
+	const L = 16.0
+	const n = 4096
+	for _, periodic := range []bool{true, false} {
+		for _, blocks := range []int{2, 4, 8} {
+			ps := clusteredParticles(n, L, 11)
+			d, err := DecomposeRCB(unitDomain(L), blocks, periodic, ps, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts := PartitionParticles(d, ps)
+			total, max := 0, 0
+			for _, part := range parts {
+				total += len(part)
+				if len(part) > max {
+					max = len(part)
+				}
+			}
+			if total != n {
+				t.Fatalf("blocks=%d: partition lost particles (%d of %d)", blocks, total, n)
+			}
+			ideal := float64(n) / float64(blocks)
+			if float64(max) > ideal*1.05+1 {
+				t.Fatalf("blocks=%d periodic=%v: max block holds %d particles, ideal %.0f",
+					blocks, periodic, max, ideal)
+			}
+			// Contrast: the regular grid on the same clustered input is
+			// badly imbalanced (this is the imbalance RCB removes).
+			dg, err := Decompose(unitDomain(L), blocks, periodic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gmax := 0
+			for _, part := range PartitionParticles(dg, ps) {
+				if len(part) > gmax {
+					gmax = len(part)
+				}
+			}
+			if gmax <= max {
+				t.Logf("blocks=%d: grid max %d not worse than RCB max %d (unusually uniform input?)",
+					blocks, gmax, max)
+			}
+		}
+	}
+}
+
+func TestRCBLinkSymmetry(t *testing.T) {
+	const L = 10.0
+	for _, periodic := range []bool{true, false} {
+		for _, blocks := range []int{2, 5, 8} {
+			ps := clusteredParticles(500, L, int64(blocks)*3)
+			d, err := DecomposeRCB(unitDomain(L), blocks, periodic, ps, 1.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type link struct {
+				from, to int
+				shift    geom.Vec3
+			}
+			seen := map[link]int{}
+			for r := 0; r < blocks; r++ {
+				prev := -1
+				for _, nb := range d.Neighbors(r) {
+					if nb.Rank < prev {
+						t.Fatalf("rank %d links not sorted by target rank", r)
+					}
+					prev = nb.Rank
+					seen[link{r, nb.Rank, nb.Shift}]++
+				}
+			}
+			for l, c := range seen {
+				if c != 1 {
+					t.Fatalf("duplicate link %+v (count %d)", l, c)
+				}
+				mirror := link{l.to, l.from, geom.Vec3{X: -l.shift.X, Y: -l.shift.Y, Z: -l.shift.Z}}
+				if seen[mirror] != 1 {
+					t.Fatalf("link %+v has no mirror %+v", l, mirror)
+				}
+			}
+		}
+	}
+}
+
+func TestRCBExchangeGhostCoverage(t *testing.T) {
+	// The decomposition-independent ghost contract: every rank receives
+	// exactly the particles (or periodic images) inside its ghost-expanded
+	// bounds, minus its own originals — same oracle as the grid test,
+	// evaluated over RCB leaves.
+	const L = 10.0
+	const ghost = 1.5
+	ps := clusteredParticles(800, L, 21)
+	d, err := DecomposeRCB(unitDomain(L), 8, true, ps, ghost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := PartitionParticles(d, ps)
+	ghosts := runExchange(t, d, ps, ghost, ExchangeGhost)
+
+	for r := 0; r < d.NumBlocks(); r++ {
+		expanded := d.Block(r).Bounds.Expand(ghost)
+		local := map[int64]bool{}
+		for _, p := range parts[r] {
+			local[p.ID] = true
+		}
+		type key struct {
+			id      int64
+			x, y, z float64
+		}
+		expect := map[key]bool{}
+		for _, p := range ps {
+			for _, sx := range []float64{-L, 0, L} {
+				for _, sy := range []float64{-L, 0, L} {
+					for _, sz := range []float64{-L, 0, L} {
+						img := p.Pos.Add(geom.V(sx, sy, sz))
+						if !expanded.Contains(img) {
+							continue
+						}
+						if sx == 0 && sy == 0 && sz == 0 && local[p.ID] {
+							continue
+						}
+						expect[key{p.ID, img.X, img.Y, img.Z}] = true
+					}
+				}
+			}
+		}
+		got := map[key]bool{}
+		for _, g := range ghosts[r] {
+			k := key{g.ID, g.Pos.X, g.Pos.Y, g.Pos.Z}
+			if got[k] {
+				t.Fatalf("rank %d received duplicate ghost %+v", r, k)
+			}
+			got[k] = true
+		}
+		for k := range expect {
+			if !got[k] {
+				t.Fatalf("rank %d missing expected ghost %+v", r, k)
+			}
+		}
+		for k := range got {
+			if !expect[k] {
+				t.Fatalf("rank %d received unexpected ghost %+v", r, k)
+			}
+		}
+	}
+}
+
+func TestRCBGatherGhostsMatchesExchange(t *testing.T) {
+	const L = 10.0
+	for _, periodic := range []bool{true, false} {
+		for _, blocks := range []int{1, 2, 4, 8} {
+			ps := clusteredParticles(400, L, int64(200+blocks))
+			d, err := DecomposeRCB(unitDomain(L), blocks, periodic, ps, 1.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts := PartitionParticles(d, ps)
+			exchanged := runExchange(t, d, ps, 1.2, ExchangeGhost)
+			for r := 0; r < blocks; r++ {
+				direct := GatherGhosts(d, r, parts, 1.2)
+				ka := ghostKeys(exchanged[r])
+				kb := ghostKeys(direct)
+				if len(ka) != len(kb) {
+					t.Fatalf("periodic=%v blocks=%d rank %d: exchange %d ghosts, gather %d",
+						periodic, blocks, r, len(ka), len(kb))
+				}
+				for i := range ka {
+					if ka[i].ID != kb[i].ID || ka[i].Pos.Dist(kb[i].Pos) > 1e-12 {
+						t.Fatalf("periodic=%v blocks=%d rank %d: ghost %d differs: %+v vs %+v",
+							periodic, blocks, r, i, ka[i], kb[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRCBGhostCapacity(t *testing.T) {
+	const L = 10.0
+	ps := clusteredParticles(300, L, 5)
+	d, err := DecomposeRCB(unitDomain(L), 8, true, ps, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.GhostCapacity(); got != 2.5 {
+		t.Errorf("RCB GhostCapacity = %g, want the link ghost 2.5", got)
+	}
+	// A periodic RCB ghost beyond half the smallest side is rejected.
+	if _, err := DecomposeRCB(unitDomain(L), 8, true, ps, L/2+1); err == nil {
+		t.Error("oversized periodic RCB ghost accepted")
+	}
+	// Non-periodic domains have no wrap constraint.
+	if _, err := DecomposeRCB(unitDomain(L), 8, false, ps, L/2+1); err != nil {
+		t.Errorf("non-periodic RCB ghost rejected: %v", err)
+	}
+	// Grid capacity is unchanged: smallest block side.
+	dg, err := Decompose(unitDomain(L), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dg.GhostCapacity(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("grid GhostCapacity = %g, want 5", got)
+	}
+}
+
+func TestRCBDegenerateInputs(t *testing.T) {
+	const L = 6.0
+	// No particles at all: geometric splits, still a valid tiling.
+	d, err := DecomposeRCB(unitDomain(L), 8, true, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vol float64
+	for r := 0; r < 8; r++ {
+		vol += d.Block(r).Bounds.Volume()
+	}
+	if math.Abs(vol-L*L*L) > 1e-9 {
+		t.Fatalf("empty-input leaves cover %v", vol)
+	}
+	// All particles coincident: geometric fallback, no empty boxes.
+	same := make([]Particle, 50)
+	for i := range same {
+		same[i] = Particle{ID: int64(i), Pos: geom.V(3, 3, 3)}
+	}
+	d, err = DecomposeRCB(unitDomain(L), 4, true, same, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if d.Block(r).Bounds.Empty() || d.Block(r).Bounds.Volume() == 0 {
+			t.Fatalf("coincident input produced degenerate block %d: %+v", r, d.Block(r).Bounds)
+		}
+	}
+	if _, err := DecomposeRCB(unitDomain(L), 0, true, nil, 1); err == nil {
+		t.Error("0 blocks accepted")
+	}
+}

@@ -379,7 +379,6 @@ func (r *Recorder) Snapshot() *Snapshot {
 		RecvBytes: make([][]int64, n),
 		Counters:  make(map[string][]int64, len(r.counterNames)),
 	}
-	var computeSum, computeMax time.Duration
 	for i := range r.ranks {
 		s := &r.ranks[i]
 		snap.Spans = append(snap.Spans, s.spans...)
@@ -411,10 +410,6 @@ func (r *Recorder) Snapshot() *Snapshot {
 		snap.TotalSentBytes += m.SentBytes
 		snap.TotalRecvdMsgs += m.RecvdMsgs
 		snap.TotalRecvdBytes += m.RecvdBytes
-		computeSum += m.Phase.Compute
-		if m.Phase.Compute > computeMax {
-			computeMax = m.Phase.Compute
-		}
 	}
 	sort.SliceStable(snap.Spans, func(a, b int) bool {
 		if snap.Spans[a].Rank != snap.Spans[b].Rank {
@@ -434,11 +429,32 @@ func (r *Recorder) Snapshot() *Snapshot {
 	}
 	sort.Strings(names)
 	snap.CounterNames = names
-	if computeSum > 0 {
-		mean := float64(computeSum) / float64(n)
-		snap.ComputeImbalance = float64(computeMax) / mean
-	}
+	snap.ComputeImbalance = snap.Imbalance(PhaseCompute)
 	return snap
+}
+
+// Imbalance returns the load-imbalance ratio of one phase: slowest-rank
+// time over mean rank time (1.0 = perfectly balanced, 0 when the phase
+// recorded no time). ComputeImbalance is this number for PhaseCompute; the
+// generic form lets callers inspect the exchange or output phases the same
+// way.
+func (s *Snapshot) Imbalance(p Phase) float64 {
+	if len(s.PerRank) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, m := range s.PerRank {
+		d := m.Phase.Get(p)
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.PerRank))
+	return float64(max) / mean
 }
 
 // PhaseTotal sums one phase's time over all ranks.

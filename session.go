@@ -62,3 +62,32 @@ func (s *Session) Steps() int { return s.s.Steps() }
 // step is cold. The same numbers reach an attached Recorder as the
 // "sites-warm" and "sites-cold" counters.
 func (s *Session) WarmStats() (warm, cold int64) { return s.s.WarmStats() }
+
+// SessionStats is the aggregate health of a session: warm/cold site
+// classification, step count, and the adaptive-decomposition activity of
+// a DecomposeRCB session.
+type SessionStats struct {
+	// WarmSites and ColdSites are the cumulative counts WarmStats returns.
+	WarmSites, ColdSites int64
+	// Steps is the number of completed steps.
+	Steps int
+	// Rebalances counts the warm re-decompositions performed (0 unless the
+	// session uses DecomposeRCB with a RebalanceThreshold).
+	Rebalances int
+	// LastImbalance is the most recent step's compute-phase imbalance
+	// ratio (slowest rank over mean; 1 = perfectly balanced, 0 before the
+	// first step) — the signal compared against Config.RebalanceThreshold.
+	LastImbalance float64
+}
+
+// Stats returns the session's aggregate statistics.
+func (s *Session) Stats() SessionStats {
+	warm, cold := s.s.WarmStats()
+	return SessionStats{
+		WarmSites:     warm,
+		ColdSites:     cold,
+		Steps:         s.s.Steps(),
+		Rebalances:    s.s.Rebalances(),
+		LastImbalance: s.s.LastImbalance(),
+	}
+}

@@ -61,10 +61,42 @@ type Vec3 = geom.Vec3
 // Box is an axis-aligned box.
 type Box = geom.Box
 
+// DecompKind selects the block decomposition strategy (see the constants).
+type DecompKind = core.DecompKind
+
+const (
+	// DecomposeRegular is the paper's regular grid of equal-volume blocks
+	// (the default).
+	DecomposeRegular = core.DecomposeRegular
+	// DecomposeRCB builds particle-balanced blocks by recursive coordinate
+	// bisection: the domain splits along the longest axis at the weighted
+	// median of the particle positions until every block holds ~equal
+	// particle counts. On clustered inputs this removes the compute-phase
+	// imbalance of equal-volume blocks; merged canonical output is
+	// byte-identical to the regular grid.
+	DecomposeRCB = core.DecomposeRCB
+)
+
 // Option adjusts a Config built by NewPeriodicConfig or NewBoundedConfig.
 // Options are pure sugar over the Config fields — applying them by hand
 // after construction is equivalent.
 type Option func(*Config)
+
+// WithDecomposition selects the block decomposition strategy
+// (Config.Decomposition): DecomposeRegular (default) or DecomposeRCB.
+func WithDecomposition(k DecompKind) Option {
+	return func(c *Config) { c.Decomposition = k }
+}
+
+// WithRebalanceThreshold arms warm re-decomposition for Sessions using
+// DecomposeRCB (Config.RebalanceThreshold): when a step's compute-phase
+// imbalance ratio (slowest rank over mean) exceeds t, the next Step
+// rebuilds the decomposition from its particle positions while keeping all
+// retained scratch/pool/recorder state. Typical values are 1.2-1.5; 0
+// disables rebalancing.
+func WithRebalanceThreshold(t float64) Option {
+	return func(c *Config) { c.RebalanceThreshold = t }
+}
 
 // WithWorkers sets the number of intra-rank compute worker goroutines
 // (Config.Workers; 0 divides GOMAXPROCS among the concurrent ranks).
@@ -200,6 +232,20 @@ type ObsSnapshot = obs.Snapshot
 
 // NewRecorder returns a Recorder for a run over numBlocks blocks.
 func NewRecorder(numBlocks int) *Recorder { return obs.NewRecorder(numBlocks) }
+
+// Phase identifies one stage of the per-rank pipeline in an ObsSnapshot
+// (exchange, ghost merge, compute, output, barrier).
+type Phase = obs.Phase
+
+// Pipeline phases, usable with ObsSnapshot.PhaseTotal / SlowestRank /
+// Imbalance.
+const (
+	PhaseExchange   = obs.PhaseExchange
+	PhaseGhostMerge = obs.PhaseGhostMerge
+	PhaseCompute    = obs.PhaseCompute
+	PhaseOutput     = obs.PhaseOutput
+	PhaseBarrier    = obs.PhaseBarrier
+)
 
 // BlockMesh is the per-block analysis data model (vertices, connectivity,
 // per-cell volumes and areas).
