@@ -6,6 +6,12 @@
 //	tesslint ./internal/voronoi     # analyze specific directories
 //	tesslint -list                  # describe the analyzer suite
 //	tesslint -run maporder ./...    # run a subset (comma-separated)
+//	tesslint -json ./...            # machine-readable findings (CI)
+//
+// Analyzers share one interprocedural Program per invocation, built over
+// the analyzed packages plus every module package they pull in through
+// imports — so escape summaries see helpers even when only a subset of
+// directories is being reported on.
 //
 // Diagnostics can be suppressed with a reasoned directive on the same
 // line or the line above:
@@ -16,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fl.Bool("list", false, "list analyzers and exit")
 	sel := fl.String("run", "", "comma-separated analyzer names to run (default: all)")
 	dir := fl.String("C", ".", "directory to resolve the module from")
+	asJSON := fl.Bool("json", false, "emit findings as a JSON array (machine-readable)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -94,19 +102,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		pos := d.Pos
+	// The Program spans every package the loader touched — analyzed
+	// targets plus module dependencies pulled in as imports — so summaries
+	// cover helpers outside the reported-on set.
+	prog := lint.BuildProgram(loader.Cached())
+	diags := lint.RunProgram(prog, pkgs, analyzers)
+	for i := range diags {
+		pos := &diags[i].Pos
 		if rel, err := filepath.Rel(moduleDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if *asJSON {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "tesslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stdout, "tesslint: %d finding(s)\n", len(diags))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(stdout, "tesslint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the stable machine-readable schema of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits findings as one JSON array ([] when clean), so CI can
+// parse the output without scraping text.
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // findModuleRoot walks up from dir to the nearest go.mod.

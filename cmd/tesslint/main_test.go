@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,9 +87,67 @@ func TestListAnalyzers(t *testing.T) {
 	if got := run([]string{"-list"}, &out, &errOut); got != 0 {
 		t.Fatalf("exit = %d, want 0", got)
 	}
-	for _, name := range []string{"hotalloc", "maporder", "scratchretain", "sendalias"} {
+	for _, name := range []string{
+		"aborterr", "donesel", "hotalloc", "loanretain",
+		"maporder", "phasepair", "scratchretain", "sendalias",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.23\n",
+		"bad.go": violatingSrc,
+	})
+	var out, errOut strings.Builder
+	if got := run([]string{"-C", dir, "-json", "./..."}, &out, &errOut); got != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", got, errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.File != "bad.go" || f.Analyzer != "maporder" || f.Line == 0 || f.Message == "" {
+		t.Errorf("finding fields wrong: %+v", f)
+	}
+}
+
+func TestJSONClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module scratchmod\n\ngo 1.23\n",
+		"clean.go": cleanSrc,
+	})
+	var out, errOut strings.Builder
+	if got := run([]string{"-C", dir, "-json", "./..."}, &out, &errOut); got != 0 {
+		t.Fatalf("exit = %d, want 0; output: %s%s", got, out.String(), errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("clean output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean module produced findings: %+v", findings)
+	}
+}
+
+// TestJSONSubsetCombination pins -json composing with -run selection.
+func TestJSONSubsetCombination(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratchmod\n\ngo 1.23\n",
+		"bad.go": violatingSrc,
+	})
+	var out, errOut strings.Builder
+	if got := run([]string{"-C", dir, "-json", "-run", "sendalias", "./..."}, &out, &errOut); got != 0 {
+		t.Fatalf("exit = %d, want 0; output: %s%s", got, out.String(), errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("expected empty JSON array, got:\n%s", out.String())
 	}
 }

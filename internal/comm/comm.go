@@ -30,6 +30,12 @@
 // Operations that unblock due to an abort panic with the world's
 // *AbortError; Run recognizes and swallows those secondary unwinds, so the
 // only error that surfaces is the original cause.
+//
+// The //tess:abortable marker below opts this package into the donesel
+// analyzer: every blocking channel operation here must select on the done
+// channel (or a default), so the abort guarantee stays mechanical.
+//
+//tess:abortable
 package comm
 
 import (

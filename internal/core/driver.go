@@ -64,6 +64,7 @@ func Run(cfg Config, particles []diy.Particle, numBlocks int) (*Output, error) {
 		return nil, err
 	}
 	defer s.Close()
+	//lint:ignore loanretain the deferred Close ends the session before Run returns, so no later Step can overwrite this Output: the loan becomes ownership
 	return s.Step(particles)
 }
 

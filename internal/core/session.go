@@ -176,12 +176,16 @@ func (s *Session) installDecomposition(d *diy.Decomposition) {
 // Output is a loan valid until the next Step (see Session); its content is
 // byte-identical to Run(cfg, particles, numBlocks) with the session's
 // configuration.
+//
+//tess:loaned
 func (s *Session) Step(particles []diy.Particle) (*Output, error) {
 	return s.StepPath(particles, s.cfg.OutputPath)
 }
 
 // StepPath is Step with a per-step output destination (empty writes
 // nothing), the in situ pattern of one file per selected timestep.
+//
+//tess:loaned
 func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output, error) {
 	if s.closed {
 		return nil, fmt.Errorf("core: session is closed")

@@ -101,7 +101,7 @@ func (s *Section) Float(key string, def float64) (float64, error) {
 	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {
-		return 0, fmt.Errorf("cosmotools: [%s] %s: %v", s.Name, key, err)
+		return 0, fmt.Errorf("cosmotools: [%s] %s: %w", s.Name, key, err)
 	}
 	return f, nil
 }
@@ -114,7 +114,7 @@ func (s *Section) Int(key string, def int) (int, error) {
 	}
 	i, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("cosmotools: [%s] %s: %v", s.Name, key, err)
+		return 0, fmt.Errorf("cosmotools: [%s] %s: %w", s.Name, key, err)
 	}
 	return i, nil
 }
@@ -127,7 +127,7 @@ func (s *Section) Bool(key string, def bool) (bool, error) {
 	}
 	b, err := strconv.ParseBool(v)
 	if err != nil {
-		return false, fmt.Errorf("cosmotools: [%s] %s: %v", s.Name, key, err)
+		return false, fmt.Errorf("cosmotools: [%s] %s: %w", s.Name, key, err)
 	}
 	return b, nil
 }

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AbortErr enforces the failure model's matching discipline. The abort
+// path wraps errors as it crosses layers (rank panic -> RankError ->
+// AbortError -> session error), so structured errors and sentinels —
+// AbortError, RankError, StallError, ErrWorldAborted, and any module
+// type/variable following the Err*/*Error naming convention — must be
+// matched with errors.Is and errors.As, which unwrap. A == comparison or
+// a value type-switch matches only the outermost layer and silently stops
+// working the moment anyone adds a wrapping layer; fmt.Errorf on an error
+// without %w severs the chain so no errors.Is downstream can see through
+// it.
+//
+// The Is methods of error types are exempt: they are the unwrap
+// protocol's own plumbing and compare identity by design.
+var AbortErr = &Analyzer{
+	Name: "aborterr",
+	Doc:  "structured errors must be matched via errors.Is/errors.As and wrapped with %w, never compared or type-switched directly",
+	Run:  runAbortErr,
+}
+
+func runAbortErr(p *Pass) {
+	if p.Prog == nil {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, fs := range funcScopes(p, file) {
+			if fs.decl != nil && isErrorIsMethod(p, fs.decl) {
+				continue
+			}
+			checkAbortErrScope(p, fs)
+		}
+	}
+}
+
+// isErrorIsMethod reports whether decl is the Is(error) bool method of an
+// error type: the one place identity comparison with sentinels is the
+// protocol itself.
+func isErrorIsMethod(p *Pass, decl *ast.FuncDecl) bool {
+	if decl.Name.Name != "Is" || decl.Recv == nil || len(decl.Recv.List) != 1 {
+		return false
+	}
+	recv := p.TypeOf(decl.Recv.List[0].Type)
+	return implementsError(recv)
+}
+
+func checkAbortErrScope(p *Pass, fs funcScope) {
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.BinaryExpr:
+			if st.Op != token.EQL && st.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{st.X, st.Y} {
+				if name, ok := sentinelUse(p, side); ok {
+					p.Reportf(st.Pos(),
+						"comparing %s with %s misses wrapped errors; use errors.Is",
+						name, st.Op)
+					break
+				}
+			}
+		case *ast.SwitchStmt:
+			// switch err { case ErrWorldAborted: ... }
+			if st.Tag == nil || !implementsError(p.TypeOf(st.Tag)) {
+				return true
+			}
+			for _, clause := range st.Body.List {
+				cc := clause.(*ast.CaseClause)
+				for _, e := range cc.List {
+					if name, ok := sentinelUse(p, e); ok {
+						p.Reportf(e.Pos(),
+							"switching on %s by value misses wrapped errors; use errors.Is",
+							name)
+					}
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			checkErrTypeSwitch(p, st)
+		case *ast.TypeAssertExpr:
+			if st.Type == nil {
+				return true // x.(type) inside a switch, handled above
+			}
+			if !implementsError(p.TypeOf(st.X)) {
+				return true
+			}
+			if name, ok := moduleErrType(p, st.Type); ok {
+				p.Reportf(st.Pos(),
+					"type-asserting to %s misses wrapped errors; use errors.As",
+					name)
+			}
+		case *ast.CallExpr:
+			checkErrorfWrap(p, st)
+		}
+		return true
+	})
+}
+
+// checkErrTypeSwitch flags `switch e := err.(type)` statements whose
+// operand is an error and whose cases include module error types.
+func checkErrTypeSwitch(p *Pass, st *ast.TypeSwitchStmt) {
+	var operand ast.Expr
+	switch a := st.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	}
+	if operand == nil || !implementsError(p.TypeOf(operand)) {
+		return
+	}
+	for _, clause := range st.Body.List {
+		cc := clause.(*ast.CaseClause)
+		for _, e := range cc.List {
+			if name, ok := moduleErrType(p, e); ok {
+				p.Reportf(e.Pos(),
+					"type-switching on %s misses wrapped errors; use errors.As",
+					name)
+			}
+		}
+	}
+}
+
+// sentinelUse reports whether e denotes a module error sentinel (a
+// package-level Err* variable implementing error), returning its name.
+func sentinelUse(p *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj := p.ObjectOf(id)
+	if obj != nil && p.Prog.sentinels[obj] {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// moduleErrType reports whether the type expression e names a module
+// structured error type (*Error-named, implementing error).
+func moduleErrType(p *Pass, e ast.Expr) (string, bool) {
+	n := namedType(p.TypeOf(e))
+	if n == nil {
+		return "", false
+	}
+	if p.Prog.errTypes[n.Obj()] {
+		return n.Obj().Name(), true
+	}
+	return "", false
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed
+// argument without a %w verb: the new error hides its cause from
+// errors.Is/errors.As downstream.
+func checkErrorfWrap(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	obj := p.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := p.TypeOf(arg); t != nil && isErrorValue(t) {
+			p.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w; the cause becomes unreachable to errors.Is/errors.As (wrap with %%w)")
+			return
+		}
+	}
+}
+
+// isErrorValue reports whether t is the error interface or a concrete
+// type implementing it (excluding nil-like untyped values).
+func isErrorValue(t types.Type) bool {
+	if _, isBasic := t.Underlying().(*types.Basic); isBasic {
+		return false
+	}
+	return isErrorType(t) || implementsError(t)
+}

@@ -2,7 +2,10 @@ package lint
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, MapOrder, ScratchRetain, SendAlias}
+	return []*Analyzer{
+		AbortErr, DoneSel, HotAlloc, LoanRetain, MapOrder,
+		PhasePair, ScratchRetain, SendAlias,
+	}
 }
 
 // ByName returns the named analyzer, or nil.

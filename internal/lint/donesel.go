@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DoneSel keeps the failure-containment guarantee mechanical: in packages
+// that opt in with a //tess:abortable package comment (internal/comm),
+// every blocking channel operation must be abortable. A blocking send or
+// receive must be a case of a select that can always get out — via a
+// world done-channel case or a default — and a bare `<-ch` outside any
+// select silently reintroduces the un-abortable hangs the abort/watchdog
+// work eliminated: one crashed rank and every peer blocks forever on a
+// message that will never come.
+//
+// Receives from a done channel itself (a close-broadcast channel, named
+// done/Done or obtained from a Done() accessor) are exempt — waiting on
+// an abort signal is the mechanism, not a hang. Ranging over a channel
+// blocks on every iteration and is flagged outright.
+var DoneSel = &Analyzer{
+	Name: "donesel",
+	Doc:  "blocking channel operations in //tess:abortable packages must select on the done channel or a default",
+	Run:  runDoneSel,
+}
+
+func runDoneSel(p *Pass) {
+	if !pkgHasMarker(p.Pkg, abortableMarker) {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		// guarded holds the exact comm statements of select cases: the only
+		// sanctioned homes for a blocking op.
+		guarded := map[ast.Stmt]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			ok = false
+			for _, clause := range sel.Body.List {
+				cc := clause.(*ast.CommClause)
+				if cc.Comm == nil {
+					ok = true // default case: the select cannot block
+					continue
+				}
+				guarded[cc.Comm] = true
+				if recvOf(cc.Comm) != nil && isDoneChan(p, recvOf(cc.Comm).X) {
+					ok = true
+				}
+			}
+			if !ok {
+				p.Reportf(sel.Pos(),
+					"select blocks without a done-channel case or default; an abort cannot unblock it")
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.SendStmt:
+				if !guarded[st] {
+					p.Reportf(st.Pos(),
+						"blocking channel send outside a select; wrap it in a select with a done-channel case")
+				}
+			case *ast.ExprStmt:
+				if rx := recvExpr(st.X); rx != nil && !guarded[st] && !isDoneChan(p, rx.X) {
+					p.Reportf(st.Pos(),
+						"blocking channel receive outside a select; wrap it in a select with a done-channel case")
+				}
+			case *ast.AssignStmt:
+				if guarded[st] {
+					return true
+				}
+				for _, rhs := range st.Rhs {
+					if rx := recvExpr(rhs); rx != nil && !isDoneChan(p, rx.X) {
+						p.Reportf(st.Pos(),
+							"blocking channel receive outside a select; wrap it in a select with a done-channel case")
+					}
+				}
+			case *ast.RangeStmt:
+				if t := p.TypeOf(st.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						p.Reportf(st.Pos(),
+							"ranging over a channel blocks on every iteration; use a select with a done-channel case")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recvOf extracts the receive expression of a select comm statement
+// (`<-ch`, `x := <-ch`, `x = <-ch`), or nil for send cases.
+func recvOf(comm ast.Stmt) *ast.UnaryExpr {
+	switch st := comm.(type) {
+	case *ast.ExprStmt:
+		return recvExpr(st.X)
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			return recvExpr(st.Rhs[0])
+		}
+	}
+	return nil
+}
+
+// recvExpr returns e as a channel-receive expression, or nil.
+func recvExpr(e ast.Expr) *ast.UnaryExpr {
+	ux, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if ok && ux.Op == token.ARROW {
+		return ux
+	}
+	return nil
+}
+
+// isDoneChan reports whether ch is an abort-broadcast channel by the
+// repo's naming convention: an identifier or field named done/Done (or
+// *Done), or the result of a Done() accessor.
+func isDoneChan(p *Pass, ch ast.Expr) bool {
+	name := ""
+	switch x := ast.Unparen(ch).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		} else if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return strings.HasSuffix(strings.ToLower(name), "done")
+}

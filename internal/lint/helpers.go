@@ -135,6 +135,10 @@ func hasReferenceDepth(t types.Type, depth int) bool {
 // enclosing function's scope entry.
 type funcScope struct {
 	body *ast.BlockStmt
+	// decl is the declaration when the scope is a FuncDecl (nil for
+	// function literals) — analyzers use it to consult interprocedural
+	// summaries and doc markers.
+	decl *ast.FuncDecl
 	// params holds receiver, parameter, and named-result objects: memory
 	// the caller provided or will observe.
 	params map[types.Object]bool
@@ -169,7 +173,9 @@ func funcScopes(p *Pass, file *ast.File) []funcScope {
 		switch fn := n.(type) {
 		case *ast.FuncDecl:
 			if fn.Body != nil {
-				out = append(out, scope(fn.Recv, fn.Type, fn.Body))
+				fs := scope(fn.Recv, fn.Type, fn.Body)
+				fs.decl = fn
+				out = append(out, fs)
 			}
 		case *ast.FuncLit:
 			out = append(out, scope(nil, fn.Type, fn.Body))

@@ -50,10 +50,14 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass carries one package through one analyzer.
+// Pass carries one package through one analyzer. Prog is the shared
+// interprocedural layer built once per Run over every loaded package;
+// analyzers consult it for call-graph summaries and module-wide marker
+// indexes.
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+	Prog *Program
 
 	analyzer string
 	sink     *[]Diagnostic

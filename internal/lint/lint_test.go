@@ -86,6 +86,51 @@ func TestHotAllocFixture(t *testing.T)  { checkFixture(t, "hotalloc", []*Analyze
 func TestScratchRetainFixture(t *testing.T) {
 	checkFixture(t, "scratchretain", []*Analyzer{ScratchRetain})
 }
+func TestLoanRetainFixture(t *testing.T) { checkFixture(t, "loanretain", []*Analyzer{LoanRetain}) }
+func TestAbortErrFixture(t *testing.T)   { checkFixture(t, "aborterr", []*Analyzer{AbortErr}) }
+func TestDoneSelFixture(t *testing.T)    { checkFixture(t, "donesel", []*Analyzer{DoneSel}) }
+func TestPhasePairFixture(t *testing.T)  { checkFixture(t, "phasepair", []*Analyzer{PhasePair}) }
+
+// TestInterprocFixture drives scratchretain and sendalias over leaks that
+// escape exclusively through helper calls.
+func TestInterprocFixture(t *testing.T) {
+	checkFixture(t, "interproc", []*Analyzer{ScratchRetain, SendAlias})
+}
+
+// TestInterprocRegression pins the tentpole claim: every finding in the
+// interproc fixture needs the interprocedural summaries. Running the same
+// analyzers with an EMPTY Program — which reduces every call to the v1
+// "results are owned, parameters don't escape" convention — must see
+// nothing, and the full Program must see every leak.
+func TestInterprocRegression(t *testing.T) {
+	l := moduleLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "interproc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{ScratchRetain, SendAlias}
+	if diags := RunProgram(BuildProgram(nil), []*Package{pkg}, analyzers); len(diags) != 0 {
+		t.Errorf("function-local pass (empty Program) reported findings, so the fixture is not purely interprocedural: %v", diags)
+	}
+	diags := Run([]*Package{pkg}, analyzers)
+	if len(diags) < 8 {
+		t.Errorf("interprocedural pass found %d leaks, want at least 8: %v", len(diags), diags)
+	}
+}
+
+// TestDoneSelRequiresMarker checks donesel stays silent on packages
+// without the //tess:abortable opt-in, whatever channel operations they
+// contain.
+func TestDoneSelRequiresMarker(t *testing.T) {
+	l := moduleLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{DoneSel}); len(diags) != 0 {
+		t.Errorf("donesel fired on an unmarked package: %v", diags)
+	}
+}
 
 // TestSuppressFixture runs maporder over violations covered by
 // //lint:ignore directives: only the uncovered ones may surface.
@@ -125,7 +170,8 @@ func TestMalformedIgnoreDirective(t *testing.T) {
 }
 
 // TestRealModuleClean is the zero-findings gate over the shipped tree: the
-// whole module must pass the full analyzer suite with no suppressions.
+// whole module must pass the full analyzer suite. Suppressions are allowed
+// only with an inline reason; TestRealModuleSuppressions pins the budget.
 func TestRealModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -140,5 +186,40 @@ func TestRealModuleClean(t *testing.T) {
 	}
 	for _, d := range Run(pkgs, All()) {
 		t.Errorf("%s", d.String())
+	}
+}
+
+// TestRealModuleSuppressions pins the suppression budget for the shipped
+// tree: every //lint:ignore directive must name a real analyzer and carry a
+// reason, and adding one means raising the budget here — in review, not by
+// accident.
+func TestRealModuleSuppressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	const budget = 2
+	l := moduleLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, pkg := range pkgs {
+		var sink []Diagnostic
+		for _, ig := range collectIgnores(pkg, &sink) {
+			total++
+			for _, name := range ig.analyzers {
+				if name != "all" && ByName(name) == nil {
+					t.Errorf("%s:%d: suppression names unknown analyzer %q", ig.file, ig.line, name)
+				}
+			}
+			t.Logf("suppression: %s:%d [%s] %s", ig.file, ig.line, strings.Join(ig.analyzers, ","), ig.reason)
+		}
+		for _, d := range sink {
+			t.Errorf("%s", d.String())
+		}
+	}
+	if total > budget {
+		t.Errorf("module has %d suppressions, budget is %d; justify the new one and raise the budget", total, budget)
 	}
 }

@@ -8,8 +8,10 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"maps"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 )
 
@@ -172,6 +174,18 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// Cached returns every module package the Loader has loaded so far —
+// requested packages and module dependencies pulled in through imports —
+// in deterministic path order. It is the natural universe for
+// BuildProgram when only a subset of packages is being reported on.
+func (l *Loader) Cached() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range slices.Sorted(maps.Keys(l.pkgs)) {
+		out = append(out, l.pkgs[p])
+	}
+	return out
 }
 
 func (l *Loader) load(path, dir string) (*Package, error) {

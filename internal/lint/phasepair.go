@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PhasePair keeps the observability span protocol locally auditable:
+// every Recorder.Begin must be paired with a Recorder.End on the same
+// recorder, either by a defer in the same function or by a call later in
+// the same function body. An unpaired Begin leaves the span open forever,
+// skewing per-phase wall-clock attribution for every report after it; an
+// End in a different function hides the pairing from review and breaks
+// the moment the call graph shifts.
+//
+// The check is positional, not path-sensitive: an error return between
+// Begin and a same-function End is accepted (spans of failed steps are
+// closed by the abort path). Any named type called Recorder (or ending in
+// Recorder) is held to the protocol, mirroring the Scratch heuristic.
+var PhasePair = &Analyzer{
+	Name: "phasepair",
+	Doc:  "Recorder.Begin must pair with Recorder.End via defer or a later call in the same function",
+	Run:  runPhasePair,
+}
+
+func runPhasePair(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, fs := range funcScopes(p, file) {
+			checkPhaseScope(p, fs)
+		}
+	}
+}
+
+// recorderCall returns the receiver root identifier when call is a
+// Begin/End method call on a Recorder-named type.
+func recorderCall(p *Pass, call *ast.CallExpr, method string) *ast.Ident {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	n := namedType(p.TypeOf(sel.X))
+	if n == nil {
+		return nil
+	}
+	if !strings.HasSuffix(n.Obj().Name(), "Recorder") {
+		return nil
+	}
+	return rootIdent(sel.X)
+}
+
+func checkPhaseScope(p *Pass, fs funcScope) {
+	type site struct {
+		call *ast.CallExpr
+		root *ast.Ident
+	}
+	var begins []site
+	var ends []site
+	deferred := map[*ast.CallExpr]bool{}
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			deferred[st.Call] = true
+			// A deferred closure closing the span counts too: scan it for
+			// End calls (the closure body is otherwise out of scope here).
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok {
+						if root := recorderCall(p, c, "End"); root != nil {
+							ends = append(ends, site{call: c, root: root})
+							deferred[c] = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if root := recorderCall(p, st, "Begin"); root != nil {
+				begins = append(begins, site{call: st, root: root})
+			} else if root := recorderCall(p, st, "End"); root != nil {
+				ends = append(ends, site{call: st, root: root})
+			}
+		}
+		return true
+	})
+	for _, b := range begins {
+		paired := false
+		for _, e := range ends {
+			if e.root.Name != b.root.Name {
+				continue
+			}
+			if deferred[e.call] || e.call.Pos() > b.call.End() {
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			p.Reportf(b.call.Pos(),
+				"Recorder.Begin on %s has no matching End in this function (pair it with a defer or a later End call)",
+				b.root.Name)
+		}
+	}
+}

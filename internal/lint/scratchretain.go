@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // ScratchRetain guards the boundary of the scratch-arena pattern: while a
@@ -30,6 +29,13 @@ import (
 // opt-in for types that legitimately own scratch-lifetime storage (a
 // session-held pool, a cell under construction); marked types take on the
 // documentation burden of saying when their references die.
+//
+// The check is interprocedural: function results are owned by convention
+// ONLY when the callee's summary proves it. A helper that returns an
+// alias of its argument propagates scratch taint through the call
+// (v := id(s.buf) taints v), and passing a scratch-rooted reference to a
+// helper whose summary retains or sends its parameter is reported at the
+// call site — the leak classes the v1 function-local pass could not see.
 var ScratchRetain = &Analyzer{
 	Name: "scratchretain",
 	Doc:  "references into Scratch-owned buffers must not escape the borrowing function",
@@ -37,7 +43,10 @@ var ScratchRetain = &Analyzer{
 }
 
 func runScratchRetain(p *Pass) {
-	owners := scratchOwnerTypes(p)
+	var owners map[types.Object]bool
+	if p.Prog != nil {
+		owners = p.Prog.scratchOwners
+	}
 	for _, file := range p.Pkg.Files {
 		for _, fs := range funcScopes(p, file) {
 			checkScratchScope(p, fs, owners)
@@ -45,44 +54,9 @@ func runScratchRetain(p *Pass) {
 	}
 }
 
-// scratchOwnerTypes collects the package's named types whose declaration
-// doc carries a //tess:scratchowner marker: sanctioned holders of
-// scratch-lifetime references. (The marker is read from this package's
-// syntax only; cross-package stores of scratch-rooted memory cannot occur
-// because a Scratch's buffers are unexported.)
-func scratchOwnerTypes(p *Pass) map[types.Object]bool {
-	owners := map[types.Object]bool{}
-	mark := func(doc *ast.CommentGroup, name *ast.Ident) {
-		if doc == nil {
-			return
-		}
-		for _, c := range doc.List {
-			if strings.Contains(c.Text, "//tess:scratchowner") {
-				if obj := p.ObjectOf(name); obj != nil {
-					owners[obj] = true
-				}
-				return
-			}
-		}
-	}
-	for _, file := range p.Pkg.Files {
-		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts := spec.(*ast.TypeSpec)
-				mark(gd.Doc, ts.Name)
-				mark(ts.Doc, ts.Name)
-			}
-		}
-	}
-	return owners
-}
-
 func checkScratchScope(p *Pass, fs funcScope, owners map[types.Object]bool) {
-	tainted := scratchTaint(p, fs)
+	bind := funcBindings(p.Pkg, fs.body)
+	tainted := scratchTaint(p, fs, bind)
 	if tainted == nil {
 		return // no Scratch in sight: the common case, skip the walk
 	}
@@ -100,7 +74,7 @@ func checkScratchScope(p *Pass, fs funcScope, owners map[types.Object]bool) {
 				return true
 			}
 			for _, res := range st.Results {
-				if scratchRooted(p, res, tainted) && referencesEscape(p, res) {
+				if scratchRooted(p, res, tainted, bind) && referencesEscape(p, res) {
 					p.Reportf(st.Pos(),
 						"returning a reference into a Scratch-owned buffer; the next cell through this scratch overwrites it (detach into owned memory)")
 				}
@@ -115,7 +89,7 @@ func checkScratchScope(p *Pass, fs funcScope, owners map[types.Object]bool) {
 				if len(st.Rhs) == len(st.Lhs) {
 					rhs = st.Rhs[i]
 				}
-				if rhs == nil || !scratchRooted(p, rhs, tainted) || !referencesEscape(p, rhs) {
+				if rhs == nil || !scratchRooted(p, rhs, tainted, bind) || !referencesEscape(p, rhs) {
 					continue
 				}
 				obj := p.ObjectOf(root)
@@ -128,7 +102,7 @@ func checkScratchScope(p *Pass, fs funcScope, owners map[types.Object]bool) {
 				// Field stores smuggle the reference out through the
 				// holder, unless the holder is a sanctioned owner.
 				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
-					if scratchOwnerTarget(p, sel.X, tainted, owners) {
+					if scratchOwnerTarget(p, sel.X, tainted, owners, bind) {
 						continue
 					}
 					p.Reportf(st.Pos(),
@@ -136,15 +110,44 @@ func checkScratchScope(p *Pass, fs funcScope, owners map[types.Object]bool) {
 						sel.Sel.Name)
 				}
 			}
+		case *ast.CallExpr:
+			checkScratchCall(p, st, tainted, bind)
 		}
 		return true
 	})
 }
 
+// checkScratchCall reports scratch-rooted arguments handed to helpers
+// whose summaries retain or send their parameter — escape through a call
+// chain rather than a direct store.
+func checkScratchCall(p *Pass, call *ast.CallExpr, tainted map[types.Object]bool, bind map[types.Object]boundFunc) {
+	callee, args := p.Prog.callTarget(p.Pkg, call, bind)
+	if callee == nil {
+		return
+	}
+	flows := p.Prog.Flows(callee)
+	for i, arg := range args {
+		if !scratchRooted(p, arg, tainted, bind) || !referencesEscape(p, arg) {
+			continue
+		}
+		f := flowAt(flows, i)
+		if f.Retained {
+			p.Reportf(call.Pos(),
+				"passing a reference into a Scratch-owned buffer to %s, which retains it (%s); detach into owned memory first",
+				callee.Name(), f.RetainNote)
+		}
+		if f.Sent {
+			p.Reportf(call.Pos(),
+				"passing a reference into a Scratch-owned buffer to %s, which sends it %s; the receiving rank would alias scratch memory",
+				callee.Name(), f.SentNote)
+		}
+	}
+}
+
 // scratchTaint computes the set of local objects holding references into
 // Scratch-owned buffers, iterating assignments to a fixpoint. It returns
 // nil when the function cannot see a Scratch at all.
-func scratchTaint(p *Pass, fs funcScope) map[types.Object]bool {
+func scratchTaint(p *Pass, fs funcScope, bind map[types.Object]boundFunc) map[types.Object]bool {
 	sawScratch := false
 	inspectShallow(fs.body, func(n ast.Node) bool {
 		if sel, ok := n.(*ast.SelectorExpr); ok && isScratchType(p.TypeOf(sel.X)) {
@@ -174,7 +177,7 @@ func scratchTaint(p *Pass, fs funcScope) map[types.Object]bool {
 					if len(st.Rhs) == len(st.Lhs) {
 						rhs = st.Rhs[i]
 					}
-					if rhs != nil && scratchRooted(p, rhs, tainted) && referencesEscape(p, rhs) {
+					if rhs != nil && scratchRooted(p, rhs, tainted, bind) && referencesEscape(p, rhs) {
 						tainted[obj] = true
 						changed = true
 					}
@@ -185,7 +188,7 @@ func scratchTaint(p *Pass, fs funcScope) map[types.Object]bool {
 					if obj == nil || tainted[obj] || i >= len(st.Values) {
 						continue
 					}
-					if scratchRooted(p, st.Values[i], tainted) && referencesEscape(p, st.Values[i]) {
+					if scratchRooted(p, st.Values[i], tainted, bind) && referencesEscape(p, st.Values[i]) {
 						tainted[obj] = true
 						changed = true
 					}
@@ -200,8 +203,9 @@ func scratchTaint(p *Pass, fs funcScope) map[types.Object]bool {
 // scratchRooted reports whether e is a reference into a Scratch-owned
 // buffer: a selector chain passing through a Scratch-typed value, a
 // tainted local, derivations of either (slicing, indexing, address-of,
-// append growth), or a composite literal embedding one.
-func scratchRooted(p *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+// append growth), a composite literal embedding one, or the result of a
+// summarized helper that returns an alias of a scratch-rooted argument.
+func scratchRooted(p *Pass, e ast.Expr, tainted map[types.Object]bool, bind map[types.Object]boundFunc) bool {
 	switch x := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		obj := p.ObjectOf(x)
@@ -210,26 +214,37 @@ func scratchRooted(p *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
 		if isScratchType(p.TypeOf(x.X)) {
 			return true
 		}
-		return scratchRooted(p, x.X, tainted)
+		return scratchRooted(p, x.X, tainted, bind)
 	case *ast.IndexExpr:
-		return scratchRooted(p, x.X, tainted)
+		return scratchRooted(p, x.X, tainted, bind)
 	case *ast.SliceExpr:
-		return scratchRooted(p, x.X, tainted)
+		return scratchRooted(p, x.X, tainted, bind)
 	case *ast.StarExpr:
-		return scratchRooted(p, x.X, tainted)
+		return scratchRooted(p, x.X, tainted, bind)
 	case *ast.UnaryExpr:
-		return x.Op == token.AND && scratchRooted(p, x.X, tainted)
+		return x.Op == token.AND && scratchRooted(p, x.X, tainted, bind)
 	case *ast.CallExpr:
 		if isBuiltin(p, x, "append") && len(x.Args) > 0 {
-			return scratchRooted(p, x.Args[0], tainted)
+			return scratchRooted(p, x.Args[0], tainted, bind)
 		}
-		return false // function results are owned by convention
+		// A summarized callee that returns an alias of a scratch-rooted
+		// argument roots its result too; other results are owned by
+		// convention.
+		if callee, args := p.Prog.callTarget(p.Pkg, x, bind); callee != nil {
+			flows := p.Prog.Flows(callee)
+			for i, arg := range args {
+				if flowAt(flows, i).ReturnsAlias && scratchRooted(p, arg, tainted, bind) {
+					return true
+				}
+			}
+		}
+		return false
 	case *ast.CompositeLit:
 		for _, el := range x.Elts {
 			if kv, ok := el.(*ast.KeyValueExpr); ok {
 				el = kv.Value
 			}
-			if scratchRooted(p, el, tainted) {
+			if scratchRooted(p, el, tainted, bind) {
 				return true
 			}
 		}
@@ -243,8 +258,8 @@ func scratchRooted(p *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
 // Scratch itself, a //tess:scratchowner-marked type anywhere along the
 // chain, or memory that is already scratch-rooted (rewiring inside the
 // arena cannot extend a reference's lifetime).
-func scratchOwnerTarget(p *Pass, base ast.Expr, tainted map[types.Object]bool, owners map[types.Object]bool) bool {
-	if scratchRooted(p, base, tainted) {
+func scratchOwnerTarget(p *Pass, base ast.Expr, tainted map[types.Object]bool, owners map[types.Object]bool, bind map[types.Object]boundFunc) bool {
+	if scratchRooted(p, base, tainted, bind) {
 		return true
 	}
 	for {

@@ -83,8 +83,11 @@ func checkPayload(p *Pass, fs funcScope, s sendSite, all []sendSite) {
 	case *ast.CompositeLit, *ast.UnaryExpr:
 		checkEmbeddedParams(p, fs, s, pl)
 	case *ast.CallExpr:
-		// make/append/new results and function return values are fresh by
-		// convention (every helper in this repo returns owned memory).
+		// make/append/new results and unresolvable calls are fresh by
+		// convention; a summarized callee is held to proof — a result that
+		// may alias caller memory through an identity/wrapper helper is
+		// shared mutable memory between ranks.
+		checkCallPayload(p, fs, s, e)
 	case *ast.Ident:
 		if e.Name == "nil" {
 			return
@@ -96,6 +99,44 @@ func checkPayload(p *Pass, fs funcScope, s sendSite, all []sendSite) {
 		p.Reportf(s.call.Pos(),
 			"comm %s payload must be freshly allocated in the sending function (got %s)",
 			s.method, exprKind(pl))
+	}
+}
+
+// checkCallPayload inspects a call-result payload through the callee's
+// interprocedural summary: when the callee returns an alias of one of its
+// arguments, the argument must itself be fresh-by-the-rules — a parameter
+// or out-of-function value flowing through an identity helper into a send
+// is the same bug as sending it directly.
+func checkCallPayload(p *Pass, fs funcScope, s sendSite, call *ast.CallExpr) {
+	callee, args := p.Prog.callTarget(p.Pkg, call, nil)
+	if callee == nil {
+		return
+	}
+	flows := p.Prog.Flows(callee)
+	for i, arg := range args {
+		if !flowAt(flows, i).ReturnsAlias {
+			continue
+		}
+		root := rootIdent(arg)
+		if root == nil {
+			continue
+		}
+		obj := p.ObjectOf(root)
+		if obj == nil {
+			continue
+		}
+		if t := p.TypeOf(arg); t == nil || !hasReference(t) {
+			continue
+		}
+		if fs.params[obj] {
+			p.Reportf(s.call.Pos(),
+				"comm %s payload is the result of %s, which returns an alias of its argument %s — a parameter; the receiver would alias the caller's memory",
+				s.method, callee.Name(), root.Name)
+		} else if !declaredWithin(obj, fs.body) {
+			p.Reportf(s.call.Pos(),
+				"comm %s payload is the result of %s, which returns an alias of %s, memory not allocated in the sending function",
+				s.method, callee.Name(), root.Name)
+		}
 	}
 }
 
@@ -286,8 +327,25 @@ func freshExpr(p *Pass, e ast.Expr, self types.Object) bool {
 			r := rootIdent(x.Args[0])
 			return r != nil && p.ObjectOf(r) == self
 		}
-		// make, new, conversions, and ordinary calls: results are fresh by
-		// this repo's convention (helpers return owned memory).
+		// A summarized callee is fresh only if every argument it may
+		// return an alias of is itself fresh (or derives from self).
+		if callee, args := p.Prog.callTarget(p.Pkg, x, nil); callee != nil {
+			flows := p.Prog.Flows(callee)
+			for i, arg := range args {
+				if !flowAt(flows, i).ReturnsAlias {
+					continue
+				}
+				if r := rootIdent(arg); r != nil && p.ObjectOf(r) == self {
+					continue
+				}
+				if !freshExpr(p, arg, self) {
+					return false
+				}
+			}
+			return true
+		}
+		// make, new, conversions, and unresolvable calls: results are
+		// fresh by this repo's convention (helpers return owned memory).
 		return true
 	}
 	return false

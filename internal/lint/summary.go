@@ -1,0 +1,590 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Summary is one function's interprocedural contract: for each parameter
+// (receiver first, in declaration order), whether memory reachable from
+// it can leave the call — returned to the caller, retained in storage
+// that outlives the call, or sent to another rank. Summaries are computed
+// bottom-up over the call graph to a fixpoint, so the facts are
+// transitive: a function that hands its parameter to a helper that stores
+// it in a package-level variable is itself "retaining".
+type Summary struct {
+	// Params holds the receiver (if any) followed by the parameters, in
+	// order; entries are nil for unnamed or blank parameters, which no
+	// body expression can reference.
+	Params []types.Object
+	// Flows is parallel to Params.
+	Flows []ParamFlow
+}
+
+// ParamFlow is the escape contract of one parameter.
+type ParamFlow struct {
+	// ReturnsAlias: some return value may alias memory reachable from the
+	// parameter (identity helpers, re-slicers, wrappers).
+	ReturnsAlias bool
+	// Retained: the parameter's memory is stored somewhere that outlives
+	// the call — a package-level variable, a field of caller-visible
+	// memory, a raw channel — directly or via a callee.
+	Retained bool
+	// RetainedScratch: like Retained, but every retention site is
+	// sanctioned scratch storage (a Scratch or a //tess:scratchowner
+	// type). ScratchRetain accepts these; LoanRetain does not
+	// distinguish.
+	RetainedScratch bool
+	// Sent: the parameter's memory flows into a comm point-to-point send
+	// payload, directly or via a callee.
+	Sent bool
+	// RetainNote and SentNote locate the first witnessing site, for
+	// diagnostics ("stored in package-level sink", "sent by drain").
+	RetainNote, SentNote string
+}
+
+// Flows returns fn's parameter flows, or nil when fn is outside the
+// Program.
+func (prog *Program) Flows(fn *types.Func) []ParamFlow {
+	s := prog.Summary(fn)
+	if s == nil {
+		return nil
+	}
+	return s.Flows
+}
+
+// flowAt returns the flow of argument i, folding variadic tails onto the
+// last declared parameter.
+func flowAt(flows []ParamFlow, i int) ParamFlow {
+	if len(flows) == 0 {
+		return ParamFlow{}
+	}
+	if i >= len(flows) {
+		i = len(flows) - 1
+	}
+	return flows[i]
+}
+
+// flowsEqual compares only the monotone flags the fixpoint iterates on.
+func flowsEqual(a, b []ParamFlow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ReturnsAlias != b[i].ReturnsAlias || a[i].Retained != b[i].Retained ||
+			a[i].RetainedScratch != b[i].RetainedScratch || a[i].Sent != b[i].Sent {
+			return false
+		}
+	}
+	return true
+}
+
+// computeSummaries iterates summarizeFunc over every function in
+// deterministic order until no flow flag changes. All flags are monotone
+// (false -> true only), so the fixpoint exists and is order-independent.
+func (prog *Program) computeSummaries() {
+	for _, fn := range prog.order {
+		prog.summaries[fn] = &Summary{
+			Params: paramObjects(prog.info[fn]),
+		}
+		prog.summaries[fn].Flows = make([]ParamFlow, len(prog.summaries[fn].Params))
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range prog.order {
+			if prog.summarizeFunc(fn) {
+				changed = true
+			}
+		}
+	}
+}
+
+// paramObjects flattens receiver + parameters into their declared objects
+// (nil for unnamed/blank entries, which keep their positional slot).
+func paramObjects(fi *funcInfo) []types.Object {
+	var out []types.Object
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				if name.Name == "_" {
+					out = append(out, nil)
+					continue
+				}
+				out = append(out, fi.pkg.Info.Defs[name])
+			}
+		}
+	}
+	add(fi.decl.Recv)
+	add(fi.decl.Type.Params)
+	return out
+}
+
+// summaryCtx is the per-function state of one summarize pass.
+type summaryCtx struct {
+	prog *Program
+	pkg  *Package
+	fn   *types.Func
+	bind map[types.Object]boundFunc
+	// masks maps each object to the set of parameters (bit i = param i)
+	// whose memory it may reach.
+	masks map[types.Object]uint64
+	flows []ParamFlow
+}
+
+func (prog *Program) summarizeFunc(fn *types.Func) bool {
+	fi := prog.info[fn]
+	sum := prog.summaries[fn]
+	sc := &summaryCtx{
+		prog:  prog,
+		pkg:   fi.pkg,
+		fn:    fn,
+		bind:  funcBindings(fi.pkg, fi.decl.Body),
+		masks: map[types.Object]uint64{},
+		flows: make([]ParamFlow, len(sum.Params)),
+	}
+	for i, obj := range sum.Params {
+		if i >= 64 {
+			break
+		}
+		if obj != nil && obj.Type() != nil && hasReference(obj.Type()) {
+			sc.masks[obj] = 1 << i
+		}
+	}
+	body := fi.decl.Body
+
+	// Local alias fixpoint: propagate parameter masks through
+	// assignments, declarations, range bindings, and container stores.
+	// Closure bodies participate (a closure that leaks a captured
+	// parameter leaks it for the function).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					}
+					if rhs == nil {
+						continue
+					}
+					if sc.bindMask(lhs, sc.mask(rhs)) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					if i < len(st.Values) {
+						if sc.bindIdentMask(name, sc.mask(st.Values[i])) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if v, ok := st.Value.(*ast.Ident); ok && v.Name != "_" {
+					if sc.refTyped(v) {
+						if sc.bindIdentMask(v, sc.mask(st.X)) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Flow detection over the stabilized masks.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				}
+				if rhs != nil {
+					sc.checkStore(lhs, rhs)
+				}
+			}
+		case *ast.SendStmt:
+			if m := sc.mask(st.Value); m != 0 {
+				sc.retain(m, false, "sent on a channel")
+			}
+		case *ast.CallExpr:
+			sc.checkCall(st)
+		}
+		return true
+	})
+	// Returns of the function itself: shallow walk, so a closure's return
+	// statements do not count as the outer function's.
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			// Bare return publishes the named results.
+			if res := fi.decl.Type.Results; res != nil {
+				for _, f := range res.List {
+					for _, name := range f.Names {
+						if m := sc.masks[fi.pkg.Info.Defs[name]]; m != 0 {
+							sc.returnsAlias(m)
+						}
+					}
+				}
+			}
+			return true
+		}
+		for _, r := range ret.Results {
+			if sc.refTyped(r) {
+				sc.returnsAlias(sc.mask(r))
+			}
+		}
+		return true
+	})
+
+	if flowsEqual(sum.Flows, sc.flows) {
+		return false
+	}
+	sum.Flows = sc.flows
+	return true
+}
+
+func (sc *summaryCtx) returnsAlias(m uint64) {
+	for i := range sc.flows {
+		if m&(1<<i) != 0 {
+			sc.flows[i].ReturnsAlias = true
+		}
+	}
+}
+
+// retain records that the parameters in m escape into long-lived storage;
+// scratchOK marks a sanctioned scratch retention site.
+func (sc *summaryCtx) retain(m uint64, scratchOK bool, note string) {
+	for i := range sc.flows {
+		if m&(1<<i) == 0 {
+			continue
+		}
+		f := &sc.flows[i]
+		if scratchOK {
+			f.RetainedScratch = true
+		} else if !f.Retained {
+			f.Retained = true
+			f.RetainNote = note
+		}
+	}
+}
+
+func (sc *summaryCtx) sent(m uint64, note string) {
+	for i := range sc.flows {
+		if m&(1<<i) != 0 && !sc.flows[i].Sent {
+			sc.flows[i].Sent = true
+			sc.flows[i].SentNote = note
+		}
+	}
+}
+
+func (sc *summaryCtx) refTyped(e ast.Expr) bool {
+	t := sc.pkg.Info.TypeOf(e)
+	return t != nil && hasReference(t)
+}
+
+// bindMask propagates an assignment's mask into its target: identifiers
+// accumulate directly; stores through fields/indexes of a local taint the
+// local (coarse container tainting, so `x.f = p; return x` is seen).
+// Stores into escaping holders are flow findings, handled by checkStore.
+func (sc *summaryCtx) bindMask(lhs ast.Expr, m uint64) bool {
+	if m == 0 {
+		return false
+	}
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return sc.bindIdentMask(x, m)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		root := rootIdent(lhs)
+		if root == nil {
+			return false
+		}
+		obj := objOf(sc.pkg, root)
+		if obj == nil || sc.isEscapingHolder(obj) {
+			return false
+		}
+		return sc.orMask(obj, m)
+	}
+	return false
+}
+
+func (sc *summaryCtx) bindIdentMask(id *ast.Ident, m uint64) bool {
+	if m == 0 || id.Name == "_" {
+		return false
+	}
+	obj := objOf(sc.pkg, id)
+	if obj == nil {
+		return false
+	}
+	return sc.orMask(obj, m)
+}
+
+func (sc *summaryCtx) orMask(obj types.Object, m uint64) bool {
+	old := sc.masks[obj]
+	if old|m == old {
+		return false
+	}
+	sc.masks[obj] = old | m
+	return true
+}
+
+// isEscapingHolder reports whether storage rooted at obj outlives the
+// call from the caller's point of view: package-level variables and
+// anything reachable from a reference-carrying parameter.
+func (sc *summaryCtx) isEscapingHolder(obj types.Object) bool {
+	if v, ok := obj.(*types.Var); ok && v.Parent() == sc.pkg.Types.Scope() {
+		return true
+	}
+	// Parameters hold their own bit; writing through them lands in memory
+	// the caller (or the receiver's owner) observes.
+	for i, p := range sc.prog.summaries[sc.fn].Params {
+		if p == obj && i < 64 && sc.masks[obj]&(1<<i) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStore records retention flows for stores whose target outlives the
+// call.
+func (sc *summaryCtx) checkStore(lhs, rhs ast.Expr) {
+	m := sc.mask(rhs)
+	if m == 0 || !sc.refTyped(rhs) {
+		return
+	}
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := objOf(sc.pkg, x)
+		if v, ok := obj.(*types.Var); ok && v.Parent() == sc.pkg.Types.Scope() {
+			sc.retain(m, false, fmt.Sprintf("stored in package-level %s", x.Name))
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := objOf(sc.pkg, root)
+		if obj == nil || !sc.isEscapingHolder(obj) {
+			return
+		}
+		base := baseOf(lhs)
+		scratchOK := sc.scratchSanctioned(base)
+		sc.retain(m, scratchOK, fmt.Sprintf("stored through %s", root.Name))
+	}
+}
+
+// baseOf returns the holder expression of a store target: x.f -> x,
+// x[i] -> x, *p -> p.
+func baseOf(lhs ast.Expr) ast.Expr {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return x.X
+	case *ast.IndexExpr:
+		return x.X
+	case *ast.StarExpr:
+		return x.X
+	}
+	return lhs
+}
+
+// scratchSanctioned reports whether the holder chain passes a Scratch or
+// a //tess:scratchowner-marked type.
+func (sc *summaryCtx) scratchSanctioned(base ast.Expr) bool {
+	for {
+		base = ast.Unparen(base)
+		if t := sc.pkg.Info.TypeOf(base); t != nil {
+			if isScratchType(t) {
+				return true
+			}
+			if n := namedType(t); n != nil && sc.prog.scratchOwners[n.Obj()] {
+				return true
+			}
+		}
+		switch x := base.(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// checkCall applies callee flows to the call's arguments: passing tainted
+// memory to a retaining/sending callee taints this function's summary
+// transitively. Point-to-point comm sends are recognized structurally, so
+// the fact holds even when the comm package is outside the Program.
+func (sc *summaryCtx) checkCall(call *ast.CallExpr) {
+	if idx, ok := sendPayloadIndex[worldMethodOf(sc.pkg, call)]; ok && idx < len(call.Args) {
+		if m := sc.mask(call.Args[idx]); m != 0 {
+			sc.sent(m, "as a comm payload")
+		}
+	}
+	callee, args := sc.prog.callTarget(sc.pkg, call, sc.bind)
+	if callee == nil {
+		return
+	}
+	flows := sc.prog.summaries[callee].Flows
+	if len(flows) == 0 {
+		return
+	}
+	for i, arg := range args {
+		m := sc.mask(arg)
+		if m == 0 {
+			continue
+		}
+		fi := i
+		if fi >= len(flows) {
+			fi = len(flows) - 1 // variadic tail
+		}
+		f := flows[fi]
+		if f.Retained {
+			sc.retain(m, false, fmt.Sprintf("retained by %s", callee.Name()))
+		}
+		if f.RetainedScratch {
+			sc.retain(m, true, "")
+		}
+		if f.Sent {
+			sc.sent(m, fmt.Sprintf("sent by %s", callee.Name()))
+		}
+	}
+}
+
+// mask computes the parameter set reachable from e. Reads of
+// reference-free values (s.len, b[0] of a []float64) contribute nothing;
+// taking an address bypasses that gate, because &x.f aliases x's memory
+// whatever f's type is.
+func (sc *summaryCtx) mask(e ast.Expr) uint64 {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		return sc.masks[objOf(sc.pkg, x)]
+	case *ast.SelectorExpr:
+		if !sc.refTyped(x) {
+			return 0
+		}
+		return sc.mask(x.X)
+	case *ast.IndexExpr:
+		if !sc.refTyped(x) {
+			return 0
+		}
+		return sc.mask(x.X)
+	case *ast.SliceExpr:
+		return sc.mask(x.X)
+	case *ast.StarExpr:
+		if !sc.refTyped(x) {
+			return 0
+		}
+		return sc.mask(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return sc.maskAddr(x.X)
+		}
+		return 0
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			m |= sc.mask(el)
+		}
+		return m
+	case *ast.CallExpr:
+		return sc.callMask(x)
+	}
+	return 0
+}
+
+// maskAddr is mask for an address-of operand: the leaf type gate does not
+// apply along the selector chain.
+func (sc *summaryCtx) maskAddr(e ast.Expr) uint64 {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return sc.masks[objOf(sc.pkg, x)]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return sc.mask(e)
+		}
+	}
+}
+
+// callMask computes the mask of a call result: append and conversions
+// propagate their operands; resolvable module calls propagate the
+// arguments their summaries return aliases of; everything else is owned
+// by convention.
+func (sc *summaryCtx) callMask(call *ast.CallExpr) uint64 {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := objOf(sc.pkg, id).(*types.Builtin); isB {
+			if id.Name != "append" {
+				return 0
+			}
+			var m uint64
+			for _, a := range call.Args {
+				m |= sc.mask(a)
+			}
+			return m
+		}
+	}
+	// Conversion T(x): aliasing-preserving for slice/pointer conversions.
+	if tv, ok := sc.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return sc.mask(call.Args[0])
+	}
+	callee, args := sc.prog.callTarget(sc.pkg, call, sc.bind)
+	if callee == nil {
+		return 0
+	}
+	flows := sc.prog.summaries[callee].Flows
+	var m uint64
+	for i, arg := range args {
+		fi := i
+		if fi >= len(flows) {
+			if len(flows) == 0 {
+				break
+			}
+			fi = len(flows) - 1
+		}
+		if flows[fi].ReturnsAlias {
+			m |= sc.mask(arg)
+		}
+	}
+	return m
+}
+
+// worldMethodOf is worldMethodCall without a Pass: the method name when
+// call is a method call on a comm.World value.
+func worldMethodOf(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if !isCommWorld(pkg.Info.TypeOf(sel.X)) {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,85 @@
+// Package donesel exercises the donesel analyzer: in a package marked
+// //tess:abortable, every blocking channel operation must be abortable —
+// a select with a done-channel case or a default, or a receive from the
+// done channel itself.
+//
+//tess:abortable
+package donesel
+
+// Hub stands in for a world: a data channel guarded by a done channel.
+type Hub struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// Done mirrors comm.World.Done.
+func (h *Hub) Done() <-chan struct{} { return h.done }
+
+// The sanctioned forms: select with a done case, select with a default,
+// or waiting on the done channel itself.
+func recvGuarded(h *Hub) int {
+	select {
+	case v := <-h.ch:
+		return v
+	case <-h.done:
+		return 0
+	}
+}
+
+func sendGuarded(h *Hub, v int) {
+	select {
+	case h.ch <- v:
+	case <-h.done:
+	}
+}
+
+func tryRecv(h *Hub) (int, bool) {
+	select {
+	case v := <-h.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func waitDoneField(h *Hub) {
+	<-h.done
+}
+
+func waitDoneAccessor(h *Hub) {
+	<-h.Done()
+}
+
+func recvBare(h *Hub) int {
+	return bareHelper(h)
+}
+
+func bareHelper(h *Hub) int {
+	v := <-h.ch // want `blocking channel receive outside a select`
+	return v
+}
+
+func recvBareStmt(h *Hub) {
+	<-h.ch // want `blocking channel receive outside a select`
+}
+
+func sendBare(h *Hub, v int) {
+	h.ch <- v // want `blocking channel send outside a select`
+}
+
+func selectNoEscape(h *Hub, other chan int) int {
+	select { // want `select blocks without a done-channel case or default`
+	case v := <-h.ch:
+		return v
+	case v := <-other:
+		return v
+	}
+}
+
+func drainAll(h *Hub) int {
+	total := 0
+	for v := range h.ch { // want `ranging over a channel blocks on every iteration`
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,81 @@
+// Package phasepair exercises the phasepair analyzer: every
+// Recorder.Begin must pair with a Recorder.End in the same function,
+// either later in the body or through a defer.
+package phasepair
+
+// Recorder stands in for obs.Recorder; the analyzer treats any
+// *Recorder-named type as one.
+type Recorder struct {
+	open int
+}
+
+// Mark stands in for obs.SpanMark.
+type Mark struct {
+	idx int
+}
+
+func (r *Recorder) Begin(rank int, phase int) Mark {
+	r.open++
+	return Mark{idx: r.open}
+}
+
+func (r *Recorder) End(rank int, m Mark) {
+	r.open--
+}
+
+// The sanctioned forms: a later End in the same body, or a defer.
+func pairedInline(r *Recorder) {
+	m := r.Begin(0, 1)
+	work()
+	r.End(0, m)
+}
+
+func pairedDefer(r *Recorder) {
+	m := r.Begin(0, 1)
+	defer r.End(0, m)
+	work()
+}
+
+func pairedDeferClosure(r *Recorder) {
+	m := r.Begin(0, 1)
+	defer func() {
+		r.End(0, m)
+	}()
+	work()
+}
+
+// An error return between Begin and End is fine: the check is
+// positional, and failed spans are closed by the abort path.
+func pairedWithEarlyReturn(r *Recorder, fail bool) error {
+	m := r.Begin(0, 1)
+	if fail {
+		return errFailed
+	}
+	r.End(0, m)
+	return nil
+}
+
+func unpaired(r *Recorder) {
+	r.Begin(0, 1) // want `Recorder.Begin on r has no matching End in this function`
+	work()
+}
+
+// An End before the Begin does not close the later span.
+func endBeforeBegin(r *Recorder, m Mark) {
+	r.End(0, m)
+	r.Begin(0, 1) // want `Recorder.Begin on r has no matching End in this function`
+}
+
+// Ends on a different recorder do not pair.
+func wrongRecorder(a, b *Recorder) {
+	m := a.Begin(0, 1) // want `Recorder.Begin on a has no matching End in this function`
+	b.End(0, m)
+}
+
+func work() {}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -37,6 +37,8 @@ func Open(cfg Config, numBlocks int) (*Session, error) {
 // Step runs one tessellation pass over particles through the session's
 // retained state. The result is byte-identical to
 // Run(cfg, particles, numBlocks) and is loaned until the next Step.
+//
+//tess:loaned
 func (s *Session) Step(particles []Particle) (*Output, error) {
 	return s.s.Step(particles)
 }
@@ -44,6 +46,8 @@ func (s *Session) Step(particles []Particle) (*Output, error) {
 // StepTo is Step writing this pass's blocks to outputPath (empty writes
 // nothing), overriding cfg.OutputPath — the in situ pattern of one output
 // file per selected timestep.
+//
+//tess:loaned
 func (s *Session) StepTo(particles []Particle, outputPath string) (*Output, error) {
 	return s.s.StepPath(particles, outputPath)
 }
