@@ -12,7 +12,7 @@ GO ?= go
 # than letting CI sit for the default 10 minutes.
 TEST_TIMEOUT ?= 4m
 
-.PHONY: build test vet lint race cover faults check bench bench-insitu bench-balance
+.PHONY: build test vet lint race cover faults jobd-e2e check bench bench-insitu bench-balance
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,11 @@ race:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
 
 # Coverage floor on the observability-critical packages: the recorder
-# itself, the comm layer that feeds its counters, and the ghost exchange
-# whose conservation laws the counters are tested against.
-COVER_PKGS  = ./internal/obs ./internal/comm ./internal/diy
+# itself, the comm layer that feeds its counters, the ghost exchange
+# whose conservation laws the counters are tested against, and the
+# multi-tenant daemon whose admission/cancel/containment paths the e2e
+# suite drives.
+COVER_PKGS  = ./internal/obs ./internal/comm ./internal/diy ./internal/jobd
 COVER_FLOOR = 70
 
 cover:
@@ -53,7 +55,14 @@ cover:
 faults:
 	$(GO) run ./cmd/tessbench -faults
 
-check: vet lint race cover faults
+# Daemon end-to-end suite: boots tessd in process on a loopback listener
+# and drives it through the real HTTP surface (byte-identity with direct
+# sessions, 429 admission control, cancel mid-step, crash-tenant
+# isolation), under the race detector.
+jobd-e2e:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestE2E' ./internal/jobd/...
+
+check: vet lint race cover faults jobd-e2e
 
 # Headline perf benches: worker-pool scaling and allocation counts.
 bench:

@@ -1,0 +1,171 @@
+// Command tessctl is the scriptable client of the tessd daemon: submit
+// JSON job specs, watch their NDJSON event streams, fetch statuses, and
+// cancel jobs, all against the daemon's HTTP API.
+//
+// Usage:
+//
+//	tessctl [-addr http://127.0.0.1:8437] <command> [args]
+//
+//	tessctl submit [-f spec.json] [-wait] [-mesh-dir DIR]
+//	    Submit a job spec (from -f, or stdin with -f - or no flag).
+//	    -wait streams events until the job finishes and exits non-zero
+//	    on failure; -mesh-dir writes each step's merged canonical mesh to
+//	    DIR/<job>-step<N>.mesh.
+//	tessctl status <job-id>
+//	tessctl list
+//	tessctl cancel <job-id>
+//	tessctl watch [-from N] <job-id>
+//	    Stream a job's events as NDJSON to stdout (resumable via -from).
+//	tessctl stats
+//
+// Exit status: 0 on success; 1 on API or usage errors; 2 when -wait saw
+// the job end in failure or cancellation.
+package main
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/jobd"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8437", "daemon base URL")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tessctl [-addr URL] {submit|status|list|cancel|watch|stats} [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(1)
+	}
+	c := &jobd.Client{Base: *addr}
+	ctx := context.Background()
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "submit":
+		err = runSubmit(ctx, c, flag.Args()[1:])
+	case "status":
+		err = runJSON1(ctx, flag.Args()[1:], func(id string) (any, error) { return c.Status(ctx, id) })
+	case "cancel":
+		err = runJSON1(ctx, flag.Args()[1:], func(id string) (any, error) { return c.Cancel(ctx, id) })
+	case "list":
+		err = printJSON(c.List(ctx))
+	case "stats":
+		err = printJSON(c.Stats(ctx))
+	case "watch":
+		err = runWatch(ctx, c, flag.Args()[1:])
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tessctl: %v\n", err)
+		if err == errJobFailed {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+var errJobFailed = fmt.Errorf("job did not complete")
+
+// printJSON writes v (already paired with its fetch error) as indented
+// JSON on stdout.
+func printJSON[T any](v T, err error) error {
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// runJSON1 runs a one-ID-argument command and prints its JSON result.
+func runJSON1(ctx context.Context, args []string, f func(id string) (any, error)) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one job ID argument")
+	}
+	return printJSON(f(args[0]))
+}
+
+func runSubmit(ctx context.Context, c *jobd.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	file := fs.String("f", "-", "job spec file (\"-\" = stdin)")
+	wait := fs.Bool("wait", false, "stream events until the job finishes")
+	meshDir := fs.String("mesh-dir", "", "write each step's canonical mesh to this directory (implies -wait)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var rd io.Reader = os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	var spec jobd.JobSpec
+	if err := json.NewDecoder(rd).Decode(&spec); err != nil {
+		return fmt.Errorf("decode spec: %w", err)
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !*wait && *meshDir == "" {
+		return printJSON(st, nil)
+	}
+	fmt.Fprintf(os.Stderr, "tessctl: submitted %s\n", st.ID)
+	enc := json.NewEncoder(os.Stdout)
+	var terminal jobd.Event
+	err = c.Events(ctx, st.ID, 0, func(e jobd.Event) error {
+		if terminalEvent(e) {
+			terminal = e
+		}
+		if *meshDir != "" && e.Type == "step" && e.MeshB64 != "" {
+			raw, err := base64.StdEncoding.DecodeString(e.MeshB64)
+			if err != nil {
+				return fmt.Errorf("step %d mesh: %w", e.Step, err)
+			}
+			path := filepath.Join(*meshDir, fmt.Sprintf("%s-step%d.mesh", e.Job, e.Step))
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				return err
+			}
+			e.MeshB64 = fmt.Sprintf("(written to %s)", path)
+		}
+		return enc.Encode(e)
+	})
+	if err != nil {
+		return err
+	}
+	if terminal.Type != "done" {
+		return errJobFailed
+	}
+	return nil
+}
+
+func runWatch(ctx context.Context, c *jobd.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	from := fs.Int("from", 0, "resume from this event sequence number")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one job ID argument")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return c.Events(ctx, fs.Arg(0), *from, func(e jobd.Event) error { return enc.Encode(e) })
+}
+
+func terminalEvent(e jobd.Event) bool {
+	return e.Type == "done" || e.Type == "error" || e.Type == "canceled"
+}

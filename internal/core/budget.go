@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// WorkerBudget arbitrates the machine's cores among every concurrently
+// running tessellation pipeline that draws on it. Each open Session
+// registers its rank count with the budget for its whole lifetime
+// (OpenSession to Close), and EffectiveWorkers divides the budget's total
+// by the number of ranks active across *all* registered pipelines — so N
+// concurrent sessions share GOMAXPROCS fairly instead of each assuming it
+// owns the machine, which is what a multi-tenant daemon multiplexing many
+// tenant sessions needs and what two plain Runs racing in one process get
+// for free (both draw on the process-wide shared budget by default).
+//
+// The division is advisory scheduling only: worker counts never change any
+// computed value (pinned by the determinism tests), so the budget can
+// resize under a running session without affecting its output.
+type WorkerBudget struct {
+	mu        sync.Mutex
+	total     int // 0 tracks runtime.GOMAXPROCS(0) at query time
+	ranks     int // sum of rank counts of active pipelines
+	pipelines int // number of active pipelines
+}
+
+// NewWorkerBudget returns a budget of total workers. total <= 0 tracks
+// runtime.GOMAXPROCS(0) at query time, so a budget built once follows
+// later GOMAXPROCS changes.
+func NewWorkerBudget(total int) *WorkerBudget {
+	if total < 0 {
+		total = 0
+	}
+	return &WorkerBudget{total: total}
+}
+
+// sharedBudget is the process-wide default: every Session (and therefore
+// every Run) whose Config.Budget is nil draws on it, so concurrent
+// pipelines in one process divide the machine even when nobody wired a
+// budget explicitly.
+var sharedBudget = NewWorkerBudget(0)
+
+// SharedWorkerBudget returns the process-wide budget used when
+// Config.Budget is nil.
+func SharedWorkerBudget() *WorkerBudget { return sharedBudget }
+
+// Total returns the budget's worker total (GOMAXPROCS when tracking).
+func (b *WorkerBudget) Total() int {
+	if b.total > 0 {
+		return b.total
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Active returns the number of registered pipelines and the sum of their
+// rank counts.
+func (b *WorkerBudget) Active() (pipelines, ranks int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pipelines, b.ranks
+}
+
+// acquire registers a pipeline of ranks concurrent ranks with the budget.
+func (b *WorkerBudget) acquire(ranks int) {
+	if ranks <= 0 {
+		panic(fmt.Sprintf("core: budget acquire of %d ranks", ranks))
+	}
+	b.mu.Lock()
+	b.ranks += ranks
+	b.pipelines++
+	b.mu.Unlock()
+}
+
+// release deregisters a pipeline previously registered with acquire.
+func (b *WorkerBudget) release(ranks int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ranks -= ranks
+	b.pipelines--
+	if b.ranks < 0 || b.pipelines < 0 {
+		panic(fmt.Sprintf("core: budget release underflow (ranks %d, pipelines %d)", b.ranks, b.pipelines))
+	}
+}
+
+// WorkersPerRank returns the fair per-rank worker count for a pipeline of
+// ranks concurrent ranks drawing on the budget now: the total divided by
+// the ranks active across all registered pipelines (at least the asking
+// pipeline's own, so an unregistered caller gets the classic single-tenant
+// division), never below one worker per rank.
+func (b *WorkerBudget) WorkersPerRank(ranks int) int {
+	if ranks < 1 {
+		ranks = 1
+	}
+	b.mu.Lock()
+	active := b.ranks
+	b.mu.Unlock()
+	if active < ranks {
+		active = ranks
+	}
+	w := b.Total() / active
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -65,6 +65,13 @@ type Session struct {
 	steps    int
 	terminal error // sticky first abort; session unusable once set
 	closed   bool
+	opened   time.Time
+
+	// budget is the shared worker budget the session's ranks are
+	// registered with from OpenSession to Close (cfg.Budget, or the
+	// process-wide shared budget); EffectiveWorkers divides its total by
+	// the ranks active across every registered pipeline.
+	budget *WorkerBudget
 
 	parts [][]diy.Particle // retained per-rank partition buffers
 	ranks []rankState
@@ -156,6 +163,16 @@ func OpenSession(cfg Config, numBlocks int) (*Session, error) {
 	if d != nil {
 		s.installDecomposition(d)
 	}
+	// Register the session's ranks with the worker budget for its whole
+	// lifetime (released by Close): every error return is behind us, so the
+	// acquire/release pairing is exact.
+	s.budget = cfg.Budget
+	if s.budget == nil {
+		s.budget = sharedBudget
+	}
+	s.cfg.Budget = s.budget
+	s.budget.acquire(numBlocks)
+	s.opened = time.Now()
 	return s, nil
 }
 
@@ -189,6 +206,15 @@ func (s *Session) Step(particles []diy.Particle) (*Output, error) {
 func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output, error) {
 	if s.closed {
 		return nil, fmt.Errorf("core: session is closed")
+	}
+	if s.terminal == nil {
+		// An Abort between steps (a tenant canceled from another goroutine
+		// while no Step was in flight) kills the world without a Step there
+		// to observe it; adopt it now so the session fails fast instead of
+		// entering a dead world.
+		if werr := s.w.Err(); werr != nil {
+			s.terminal = werr
+		}
 	}
 	if s.terminal != nil {
 		return nil, fmt.Errorf("core: session terminally failed at step %d: %w", s.steps, s.terminal)
@@ -428,8 +454,22 @@ func (rs *rankState) mergeGhosts(block diy.Block, local, ghosts []diy.Particle, 
 // last Step's Output stays readable (nothing will overwrite it any more),
 // but no further Step may run. Close is idempotent and returns nil.
 func (s *Session) Close() error {
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		s.budget.release(s.numBlocks)
+	}
 	return nil
+}
+
+// Abort kills the session's communication world with cause, from any
+// goroutine: a Step in flight unblocks and returns an error whose chain
+// carries cause (and comm.ErrWorldAborted), and every later Step fails
+// fast with the same cause. It is the tenant-cancellation entry point of a
+// daemon multiplexing many sessions — one goroutine drives the session's
+// Steps while another may abort it. Aborting an already-dead world is a
+// no-op; Close must still be called to release the session.
+func (s *Session) Abort(cause error) {
+	s.w.Abort(cause)
 }
 
 // Steps returns the number of completed (successful) steps.
@@ -446,6 +486,11 @@ func (s *Session) WarmStats() (warm, cold int64) {
 	}
 	return warm, cold
 }
+
+// Uptime returns how long the session has been open. It keeps counting
+// after Close (the session's total age), and — like Steps and WarmStats —
+// is cumulative session state that a per-step Recorder Reset never clears.
+func (s *Session) Uptime() time.Duration { return time.Since(s.opened) }
 
 // Rebalances returns how many warm re-decompositions the session has
 // performed (always 0 without DecomposeRCB and a RebalanceThreshold).

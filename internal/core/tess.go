@@ -21,7 +21,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"time"
 
 	"repro/internal/comm"
@@ -97,11 +96,18 @@ type Config struct {
 	// LabelVoids is set; 0 uses the mean cell volume.
 	VoidThreshold float64
 	// Workers is the number of intra-rank worker goroutines the compute
-	// phase fans cell construction out over. 0 (the default) divides
-	// GOMAXPROCS fairly among the concurrently-running ranks, so a full
+	// phase fans cell construction out over. 0 (the default) divides the
+	// worker budget fairly among every concurrently-running rank — of this
+	// pipeline and of every other pipeline sharing the budget — so a full
 	// parallel run neither oversubscribes nor idles cores. Results are
 	// identical for every worker count.
 	Workers int
+	// Budget is the shared worker budget this pipeline draws its default
+	// worker count from. nil uses the process-wide SharedWorkerBudget, so
+	// concurrent sessions (a multi-tenant daemon's jobs, or two plain Runs
+	// racing) divide GOMAXPROCS instead of each assuming it owns the
+	// machine. An explicit Workers setting bypasses the budget.
+	Budget *WorkerBudget
 	// Recorder, when non-nil, collects per-rank phase spans, comm counters,
 	// and pipeline metrics for this pass (build one with
 	// obs.NewRecorder(numBlocks)). The snapshot lands in Output.Obs and can
@@ -145,21 +151,23 @@ func registerCounters(rec *obs.Recorder) (ghosts, kept, sites obs.CounterID) {
 
 // EffectiveWorkers resolves cfg.Workers for a run with concurrentRanks
 // ranks executing at once: an explicit positive setting wins; otherwise
-// GOMAXPROCS is divided fairly among the ranks (never below one worker
-// each). Sequential drivers like RunTimed pass concurrentRanks == 1 and so
-// give each rank's compute phase the whole machine.
+// the worker budget (cfg.Budget, or the process-wide shared budget) is
+// divided fairly among every active rank — at least this pipeline's own
+// concurrentRanks, plus the ranks of every other registered pipeline —
+// never below one worker each. With a single pipeline this is the classic
+// GOMAXPROCS / concurrentRanks division; with N concurrent sessions the
+// machine is shared instead of oversubscribed N-fold. Sequential drivers
+// like RunTimed pass concurrentRanks == 1 and so give each rank's compute
+// phase the whole machine.
 func EffectiveWorkers(cfg Config, concurrentRanks int) int {
 	if cfg.Workers > 0 {
 		return cfg.Workers
 	}
-	if concurrentRanks < 1 {
-		concurrentRanks = 1
+	b := cfg.Budget
+	if b == nil {
+		b = sharedBudget
 	}
-	w := runtime.GOMAXPROCS(0) / concurrentRanks
-	if w < 1 {
-		w = 1
-	}
-	return w
+	return b.WorkersPerRank(concurrentRanks)
 }
 
 // Timing is the per-phase wall time of one tessellation pass, reduced to

@@ -1,0 +1,194 @@
+package jobd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the typed HTTP client of the daemon API, shared by the
+// tessctl CLI and the in-process e2e harness so both exercise the exact
+// wire surface a real tenant sees.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:8437".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// APIError is a non-2xx daemon response: the status code, the server's
+// error message, and — for 429 admission rejections — the parsed
+// Retry-After hint.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("jobd: server returned %d: %s", e.Status, e.Message)
+}
+
+// Saturated reports whether the error is the admission-control rejection.
+func (e *APIError) Saturated() bool { return e.Status == http.StatusTooManyRequests }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out (when
+// non-nil), converting non-2xx responses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("jobd: encode request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiErrorFrom(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiErrorFrom converts a non-2xx response (draining its body).
+func apiErrorFrom(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode}
+	var body apiError
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil {
+		apiErr.Message = body.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Submit posts a job spec. A saturated daemon surfaces as an *APIError
+// with Saturated() true and a RetryAfter hint.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a job and returns its status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Stats fetches the daemon-wide stats.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Events streams a job's NDJSON events from sequence from, calling fn for
+// each. It returns nil when the stream ends at the job's terminal event,
+// the context error on cancellation, or fn's error to stop early.
+func (c *Client) Events(ctx context.Context, id string, from int, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", c.Base, id, from), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErrorFrom(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024) // mesh payloads are large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("jobd: decode event: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return nil
+}
+
+// Wait streams a job's events until its terminal event and returns the
+// full event list plus the final status.
+func (c *Client) Wait(ctx context.Context, id string) ([]Event, JobStatus, error) {
+	var events []Event
+	err := c.Events(ctx, id, 0, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		return events, JobStatus{}, err
+	}
+	if n := len(events); n == 0 || !terminalEventType(events[n-1].Type) {
+		return events, JobStatus{}, errors.New("jobd: event stream ended without a terminal event")
+	}
+	st, err := c.Status(ctx, id)
+	return events, st, err
+}
+
+// terminalEventType reports whether t ends a job's stream.
+func terminalEventType(t string) bool {
+	return t == "done" || t == "error" || t == "canceled"
+}

@@ -1,0 +1,46 @@
+package jobd
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	tess "repro"
+)
+
+// canonicalMeshB64 merges a step's per-block meshes into the
+// decomposition-independent canonical mesh and returns its encoding,
+// base64 for NDJSON transport. Because the canonical merge is
+// byte-identical across block counts and decompositions, the bytes a
+// client receives from a daemon job equal those of a direct single-client
+// Session run over the same particles — the contract the e2e suite pins.
+// Only fresh memory derived from the loaned Output leaves this function.
+func canonicalMeshB64(out *tess.Output, cfg tess.Config) (string, error) {
+	merged, err := tess.MergeCanonical(out.Meshes, cfg.Domain, cfg.Periodic)
+	if err != nil {
+		return "", fmt.Errorf("jobd: canonical merge: %w", err)
+	}
+	enc, err := merged.Encode()
+	if err != nil {
+		return "", fmt.Errorf("jobd: mesh encode: %w", err)
+	}
+	return base64.StdEncoding.EncodeToString(enc), nil
+}
+
+// obsDigest condenses a step's observability snapshot into the wire
+// digest. Counter values are copied (the digest outlives the step), and
+// iteration follows the snapshot's sorted CounterNames so the digest is
+// deterministic.
+func obsDigest(s *tess.ObsSnapshot) *ObsDigest {
+	counters := make(map[string][]int64, len(s.CounterNames))
+	for _, name := range s.CounterNames {
+		vals := make([]int64, len(s.Counters[name]))
+		copy(vals, s.Counters[name])
+		counters[name] = vals
+	}
+	return &ObsDigest{
+		Counters:         counters,
+		ComputeImbalance: s.ComputeImbalance,
+		SentBytes:        s.TotalSentBytes,
+		RecvdBytes:       s.TotalRecvdBytes,
+	}
+}

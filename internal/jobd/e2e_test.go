@@ -1,0 +1,429 @@
+package jobd_test
+
+// End-to-end tests of the tessd daemon through its real HTTP surface,
+// using the in-process loopback harness (jobdtest). These are the
+// acceptance tests of the service layer: byte-identity with direct
+// sessions, queue-full admission control, cancellation mid-step, and
+// fault containment across tenants — all under -race.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobd"
+	"repro/internal/jobd/jobdtest"
+)
+
+const e2eWait = 120 * time.Second
+
+// happySpec is the canonical small inline job: 216 particles per step on
+// a periodic 8-cube over 2 blocks.
+func happySpec(seed int64, steps int) jobd.JobSpec {
+	return jobd.JobSpec{
+		L:           8,
+		Blocks:      2,
+		Ghost:       3,
+		Snapshots:   jobdtest.Snapshots(seed, steps, 6, 8),
+		IncludeMesh: true,
+	}
+}
+
+// The daemon's output must be byte-identical to a direct single-client
+// Open/Step/Close session fed the same snapshots: every step's merged
+// canonical mesh, decoded from the NDJSON stream, equals the direct
+// run's encoding bit for bit.
+func TestE2EHappyPathByteIdentical(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	spec := happySpec(1, 3)
+	spec.Name = "happy"
+	spec.IncludeObs = true
+
+	st := h.Submit(t, spec)
+	if st.State != jobd.StateQueued {
+		t.Fatalf("submit state = %q, want %q", st.State, jobd.StateQueued)
+	}
+	events, final := h.Wait(t, st.ID, e2eWait)
+
+	if final.State != jobd.StateDone || final.StepsDone != 3 || final.Error != nil {
+		t.Fatalf("final status = %+v, want done after 3 steps", final)
+	}
+	term := jobdtest.Terminal(t, events)
+	if term.Type != "done" || term.Steps != 3 {
+		t.Fatalf("terminal event = %+v, want done with 3 steps", term)
+	}
+	// The stream is totally ordered with contiguous sequence numbers:
+	// queued, started, 3 steps, done.
+	wantTypes := []string{"queued", "started", "step", "step", "step", "done"}
+	if len(events) != len(wantTypes) {
+		t.Fatalf("got %d events, want %d", len(events), len(wantTypes))
+	}
+	for i, e := range events {
+		if e.Type != wantTypes[i] {
+			t.Errorf("event %d type = %q, want %q", i, e.Type, wantTypes[i])
+		}
+		if e.Seq != i {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i)
+		}
+		if e.Job != st.ID {
+			t.Errorf("event %d job = %q, want %q", i, e.Job, st.ID)
+		}
+	}
+	for _, e := range events {
+		if e.Type != "step" {
+			continue
+		}
+		if e.Sites == 0 || e.Cells == 0 {
+			t.Errorf("step %d reports %d sites, %d cells; want > 0", e.Step, e.Sites, e.Cells)
+		}
+		if e.Obs == nil {
+			t.Errorf("step %d has no obs digest despite include_obs", e.Step)
+		} else if len(e.Obs.Counters["sites"]) != spec.Blocks {
+			t.Errorf("step %d obs sites counter has %d ranks, want %d",
+				e.Step, len(e.Obs.Counters["sites"]), spec.Blocks)
+		}
+	}
+
+	got := jobdtest.StepMeshes(t, events)
+	want := jobdtest.DirectMeshes(t, spec)
+	if len(got) != len(want) {
+		t.Fatalf("daemon produced %d meshes, direct run %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("step %d: daemon mesh (%d bytes) differs from direct session mesh (%d bytes)",
+				i+1, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+// A saturated daemon must reject with 429 + Retry-After, and the queue
+// must drain normally afterwards: admission control applies backpressure
+// without wedging the service.
+func TestE2EQueueFullAdmission(t *testing.T) {
+	var once sync.Once
+	running := make(chan struct{})
+	gate := make(chan struct{})
+	h := jobdtest.Start(t, jobd.Config{
+		QueueCapacity: 1,
+		MaxActive:     1,
+		BeforeStep: func(jobID string, step int) {
+			once.Do(func() { close(running) })
+			<-gate
+		},
+	})
+
+	// Job 1 occupies the single scheduler worker (parked in BeforeStep)...
+	st1 := h.Submit(t, happySpec(2, 1))
+	select {
+	case <-running:
+	case <-time.After(e2eWait):
+		t.Fatal("first job never started")
+	}
+	// ...job 2 occupies the single queue slot...
+	st2 := h.Submit(t, happySpec(3, 1))
+	// ...so job 3 must be rejected with the admission-control error.
+	_, err := h.Client.Submit(context.Background(), happySpec(4, 1))
+	var apiErr *jobd.APIError
+	if !errors.As(err, &apiErr) || !apiErr.Saturated() {
+		t.Fatalf("submit into full queue: err = %v, want 429 APIError", err)
+	}
+	if apiErr.RetryAfter < time.Second {
+		t.Errorf("Retry-After = %v, want >= 1s", apiErr.RetryAfter)
+	}
+
+	stats, err := h.Client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rejected != 1 || stats.Submitted != 2 || stats.Running != 1 || stats.QueueLen != 1 {
+		t.Errorf("stats = %+v, want 1 rejected, 2 submitted, 1 running, 1 queued", stats)
+	}
+
+	// Release the gate: both admitted jobs must drain to done, and a
+	// fresh submission must be accepted again.
+	close(gate)
+	if _, final := h.Wait(t, st1.ID, e2eWait); final.State != jobd.StateDone {
+		t.Fatalf("job 1 final state = %q, want done (err %+v)", final.State, final.Error)
+	}
+	if _, final := h.Wait(t, st2.ID, e2eWait); final.State != jobd.StateDone {
+		t.Fatalf("job 2 final state = %q, want done (err %+v)", final.State, final.Error)
+	}
+	st3 := h.Submit(t, happySpec(4, 1))
+	if _, final := h.Wait(t, st3.ID, e2eWait); final.State != jobd.StateDone {
+		t.Fatalf("post-drain job final state = %q, want done", final.State)
+	}
+}
+
+// Cancel while a step is in flight: the job's fault plan stretches the
+// exchange phase with long (abortable) send delays, the client cancels
+// over HTTP, and the step must unblock promptly into a canceled terminal
+// event instead of sleeping out the delay schedule.
+func TestE2ECancelMidStep(t *testing.T) {
+	stepEntered := make(chan struct{})
+	var once sync.Once
+	h := jobdtest.Start(t, jobd.Config{
+		BeforeStep: func(jobID string, step int) {
+			once.Do(func() { close(stepEntered) })
+		},
+	})
+	spec := happySpec(5, 2)
+	// Without the cancel, each message would sleep up to a minute — far
+	// beyond this test's patience — so a prompt finish proves the abort
+	// tears through the delays.
+	spec.Fault = &jobd.FaultSpec{Seed: 9, SendDelayMaxMS: 60_000}
+
+	st := h.Submit(t, spec)
+	select {
+	case <-stepEntered:
+	case <-time.After(e2eWait):
+		t.Fatal("job never reached its first step")
+	}
+	if _, err := h.Client.Cancel(context.Background(), st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+
+	events, final := h.Wait(t, st.ID, e2eWait)
+	term := jobdtest.Terminal(t, events)
+	if term.Type != "canceled" {
+		t.Fatalf("terminal event = %+v, want canceled", term)
+	}
+	if final.State != jobd.StateCanceled {
+		t.Fatalf("final state = %q, want canceled", final.State)
+	}
+	if final.Error == nil || final.Error.Kind != "canceled" {
+		t.Fatalf("final error = %+v, want kind canceled", final.Error)
+	}
+	if final.StepsDone != 0 {
+		t.Errorf("steps_done = %d, want 0 (canceled mid-first-step)", final.StepsDone)
+	}
+	// Canceling a terminal job is a no-op, not an error.
+	if st2, err := h.Client.Cancel(context.Background(), st.ID); err != nil || st2.State != jobd.StateCanceled {
+		t.Errorf("second cancel: status %+v, err %v", st2, err)
+	}
+}
+
+// The acceptance criterion of the issue: three tenants run concurrently,
+// one carries a fault plan that crashes its rank 1 mid-run. The crashed
+// tenant must surface a structured error event over HTTP — kind, rank,
+// fault site — while both sibling jobs complete with merged canonical
+// meshes byte-identical to direct single-client sessions.
+func TestE2ECrashTenantLeavesSiblingsUnharmed(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{MaxActive: 3})
+
+	specA := happySpec(10, 3)
+	specA.Name = "tenant-a"
+	specC := happySpec(11, 3)
+	specC.Name = "tenant-c"
+	victim := happySpec(12, 3)
+	victim.Name = "tenant-b"
+	victim.IncludeMesh = false
+	// Fault checkpoints accumulate across a session's steps, four per
+	// step; checkpoint 6 is the second step's "compute" site on rank 1.
+	victim.Fault = &jobd.FaultSpec{Seed: 13, CrashRank: 1, CrashStep: 6}
+
+	stA := h.Submit(t, specA)
+	stB := h.Submit(t, victim)
+	stC := h.Submit(t, specC)
+
+	// Wait for all three concurrently — they share the daemon.
+	var wg sync.WaitGroup
+	results := make(map[string][]jobd.Event, 3)
+	finals := make(map[string]jobd.JobStatus, 3)
+	var mu sync.Mutex
+	for _, st := range []jobd.JobStatus{stA, stB, stC} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			events, final := h.Wait(t, id, e2eWait)
+			mu.Lock()
+			results[id] = events
+			finals[id] = final
+			mu.Unlock()
+		}(st.ID)
+	}
+	wg.Wait()
+
+	// The victim failed with a fully structured error.
+	finalB := finals[stB.ID]
+	if finalB.State != jobd.StateFailed {
+		t.Fatalf("victim state = %q, want failed (err %+v)", finalB.State, finalB.Error)
+	}
+	ei := finalB.Error
+	if ei == nil {
+		t.Fatal("victim has no error info")
+	}
+	if ei.Kind != "rank-crash" {
+		t.Errorf("victim error kind = %q, want rank-crash", ei.Kind)
+	}
+	if ei.Rank == nil || *ei.Rank != 1 {
+		t.Errorf("victim error rank = %v, want 1", ei.Rank)
+	}
+	if ei.FaultSite == "" || ei.FaultStep != 6 {
+		t.Errorf("victim fault site/step = %q/%d, want named site at checkpoint 6", ei.FaultSite, ei.FaultStep)
+	}
+	if !ei.Aborted {
+		t.Error("victim error not marked aborted")
+	}
+	termB := jobdtest.Terminal(t, results[stB.ID])
+	if termB.Type != "error" {
+		t.Fatalf("victim terminal event = %+v, want error", termB)
+	}
+	// The crash fired during step 2, so exactly step 1 completed.
+	if finalB.StepsDone != 1 {
+		t.Errorf("victim steps_done = %d, want 1", finalB.StepsDone)
+	}
+
+	// Both siblings completed, and their meshes are byte-identical to
+	// direct single-client sessions fed the same snapshots.
+	for _, tc := range []struct {
+		id   string
+		spec jobd.JobSpec
+	}{{stA.ID, specA}, {stC.ID, specC}} {
+		final := finals[tc.id]
+		if final.State != jobd.StateDone || final.StepsDone != 3 {
+			t.Fatalf("sibling %s (%s) state = %q after %d steps, want done after 3 (err %+v)",
+				tc.id, tc.spec.Name, final.State, final.StepsDone, final.Error)
+		}
+		got := jobdtest.StepMeshes(t, results[tc.id])
+		want := jobdtest.DirectMeshes(t, tc.spec)
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Errorf("sibling %s step %d mesh differs from direct run", tc.spec.Name, i+1)
+			}
+		}
+	}
+
+	stats, err := h.Client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Done != 2 || stats.Failed != 1 {
+		t.Errorf("stats = %+v, want 2 done / 1 failed", stats)
+	}
+}
+
+// The daemon's built-in N-body source runs a self-contained sim tenant:
+// no inline snapshots, domain fixed by ng.
+func TestE2ESimJob(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	st := h.Submit(t, jobd.JobSpec{
+		Blocks: 2,
+		Ghost:  3,
+		Sim:    &jobd.SimSpec{NG: 8, Steps: 2},
+	})
+	events, final := h.Wait(t, st.ID, e2eWait)
+	if final.State != jobd.StateDone || final.StepsDone != 2 {
+		t.Fatalf("sim job final = %+v, want done after 2 steps", final)
+	}
+	for _, e := range events {
+		if e.Type == "step" && e.Sites != 8*8*8 {
+			t.Errorf("sim step %d has %d sites, want %d", e.Step, e.Sites, 8*8*8)
+		}
+	}
+}
+
+// HTTP error mapping: bad specs are 400 before ever touching the queue,
+// unknown jobs are 404.
+func TestE2EHTTPErrorMapping(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	ctx := context.Background()
+
+	_, err := h.Client.Submit(ctx, jobd.JobSpec{L: 8}) // no blocks, no source
+	var apiErr *jobd.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("bad spec: err = %v, want 400 APIError", err)
+	}
+	if _, err := h.Client.Status(ctx, "j9999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("unknown job status: err = %v, want 404 APIError", err)
+	}
+	if _, err := h.Client.Cancel(ctx, "j9999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("unknown job cancel: err = %v, want 404 APIError", err)
+	}
+}
+
+// Event streams are replayable: reconnecting with ?from=N resumes exactly
+// at sequence N with no gaps and no duplicates.
+func TestE2EEventReplay(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	st := h.Submit(t, happySpec(6, 2))
+	full, _ := h.Wait(t, st.ID, e2eWait)
+
+	for from := 0; from <= len(full); from++ {
+		var got []jobd.Event
+		err := h.Client.Events(context.Background(), st.ID, from, func(e jobd.Event) error {
+			got = append(got, e)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay from %d: %v", from, err)
+		}
+		if len(got) != len(full)-from {
+			t.Fatalf("replay from %d returned %d events, want %d", from, len(got), len(full)-from)
+		}
+		for i, e := range got {
+			if e.Seq != from+i {
+				t.Fatalf("replay from %d: event %d has seq %d", from, i, e.Seq)
+			}
+		}
+	}
+}
+
+// After Close the daemon refuses new work with 503 and every live job is
+// torn down; Close is idempotent.
+func TestE2EShutdown(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	h := jobdtest.Start(t, jobd.Config{
+		BeforeStep: func(jobID string, step int) {
+			entered <- struct{}{}
+			<-gate
+		},
+	})
+	spec := happySpec(7, 1)
+	// Long abortable delays so shutdown has something real to abort.
+	spec.Fault = &jobd.FaultSpec{Seed: 3, SendDelayMaxMS: 60_000}
+	st := h.Submit(t, spec)
+	select {
+	case <-entered:
+	case <-time.After(e2eWait):
+		t.Fatal("job never started stepping")
+	}
+	close(gate)
+
+	h.D.Close()
+	h.D.Close() // idempotent
+
+	_, err := h.Client.Submit(context.Background(), happySpec(8, 1))
+	var apiErr *jobd.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 {
+		t.Fatalf("submit after close: err = %v, want 503 APIError", err)
+	}
+	final, err := h.Client.Status(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.State.Terminal() {
+		t.Fatalf("job state after close = %q, want terminal", final.State)
+	}
+}
+
+// Sanity-check the raw curl example from the tessd usage docs: a plain
+// POST of the documented JSON body is accepted with 202.
+func TestE2EDocExample(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	resp, err := http.Post(h.BaseURL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"l":8,"blocks":2,"sim":{"ng":8,"steps":1},"include_mesh":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("doc example submit returned %d, want 202", resp.StatusCode)
+	}
+}

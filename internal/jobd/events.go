@@ -1,0 +1,91 @@
+package jobd
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one NDJSON record of a job's event stream. Every job emits a
+// totally ordered sequence: queued, then (unless canceled while queued)
+// started, then one step event per completed Step, terminated by exactly
+// one of done, error, or canceled. Seq numbers from 0 with no gaps, so a
+// client can resume a broken stream with ?from=<next seq>.
+type Event struct {
+	Job  string    `json:"job"`
+	Seq  int       `json:"seq"`
+	Type string    `json:"type"` // "queued" | "started" | "step" | "done" | "error" | "canceled"
+	Time time.Time `json:"time"`
+
+	// Step fields (type "step"); Step counts from 1.
+	Step  int   `json:"step,omitempty"`
+	Sites int64 `json:"sites,omitempty"`
+	Cells int64 `json:"cells,omitempty"`
+	// MeshB64 is the step's merged canonical mesh encoding, base64
+	// (present when the spec set include_mesh).
+	MeshB64 string `json:"mesh_b64,omitempty"`
+	// Obs is the step's observability digest (include_obs).
+	Obs *ObsDigest `json:"obs,omitempty"`
+
+	// Steps is the completed step total (type "done").
+	Steps int `json:"steps,omitempty"`
+
+	// Error is the structured failure (type "error" or "canceled").
+	Error *ErrorInfo `json:"error,omitempty"`
+}
+
+// ObsDigest is the per-step observability summary streamed in step
+// events: the registered counters (per rank) and the phase imbalance.
+type ObsDigest struct {
+	// Counters maps counter name to per-rank values; JSON object keys
+	// marshal sorted, so the wire form is deterministic.
+	Counters         map[string][]int64 `json:"counters"`
+	ComputeImbalance float64            `json:"compute_imbalance"`
+	SentBytes        int64              `json:"sent_bytes"`
+	RecvdBytes       int64              `json:"recvd_bytes"`
+}
+
+// eventLog is a job's append-only event sequence with broadcast tailing:
+// Append wakes every waiter, and a terminal event closes the log. One
+// writer (the job's runner or the admission path), many readers (HTTP
+// streams).
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	signal chan struct{} // closed and replaced on every append/close
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{signal: make(chan struct{})}
+}
+
+// append stamps seq and time onto e and appends it; terminal marks the
+// log closed (no further events).
+func (l *eventLog) append(e Event, terminal bool) {
+	l.mu.Lock()
+	e.Seq = len(l.events)
+	e.Time = time.Now().UTC()
+	l.events = append(l.events, e)
+	if terminal {
+		l.closed = true
+	}
+	old := l.signal
+	l.signal = make(chan struct{})
+	l.mu.Unlock()
+	close(old)
+}
+
+// since returns a copy of the events from seq from on, whether the log is
+// closed, and a channel that is closed on the next append (valid until
+// then).
+func (l *eventLog) since(from int) (evs []Event, closed bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(l.events) {
+		evs = append(evs, l.events[from:]...)
+	}
+	return evs, l.closed, l.signal
+}

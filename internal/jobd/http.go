@@ -1,0 +1,156 @@
+package jobd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// HTTP surface of the daemon (all JSON; streams are NDJSON):
+//
+//	GET    /healthz             -> 200 "ok"
+//	GET    /v1/stats            -> Stats
+//	POST   /v1/jobs             -> 202 JobStatus | 400 bad spec |
+//	                               429 (+ Retry-After seconds) saturated |
+//	                               503 shutting down
+//	GET    /v1/jobs             -> []JobStatus (submission order)
+//	GET    /v1/jobs/{id}        -> JobStatus | 404
+//	DELETE /v1/jobs/{id}        -> JobStatus after cancel | 404
+//	GET    /v1/jobs/{id}/events -> NDJSON Event stream (replay + live
+//	                               tail until the terminal event);
+//	                               ?from=N resumes at sequence N
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Stats())
+	})
+	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := d.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, d, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := d.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, d, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
+	return mux
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, d, badSpec("invalid JSON: %v", err))
+		return
+	}
+	j, err := d.Submit(spec)
+	if err != nil {
+		writeError(w, d, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleEvents streams a job's NDJSON event log: full replay from ?from
+// (default 0), then a live tail until the terminal event or client
+// disconnect. Each event is one JSON line, flushed immediately.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := d.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, d, err)
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, d, badSpec("from = %q, want a non-negative integer", q))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cur := from
+	for {
+		evs, closed, changed := j.log.since(cur)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return // client gone
+			}
+		}
+		cur += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-d.quit:
+			return
+		}
+	}
+}
+
+// writeJSON writes v as the JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps daemon sentinels to HTTP statuses; ErrSaturated carries
+// the Retry-After admission hint.
+func writeError(w http.ResponseWriter, d *Daemon, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrSaturated):
+		status = http.StatusTooManyRequests
+		secs := int(math.Ceil(d.RetryAfter().Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.Is(err, ErrUnknownJob):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}

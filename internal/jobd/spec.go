@@ -1,0 +1,270 @@
+package jobd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	tess "repro"
+	"repro/internal/nbody"
+)
+
+// ErrBadSpec is the sentinel wrapped by every job-spec validation error;
+// the HTTP layer maps it to 400 Bad Request.
+var ErrBadSpec = errors.New("jobd: bad job spec")
+
+// JobSpec is the JSON description of one tessellation job a client submits
+// to the daemon. A job is a complete Session lifecycle: Open over Blocks
+// blocks on a periodic cube [0, L)^3, one Step per input snapshot, Close.
+// Particles come either inline (Snapshots, one entry per step — the
+// in situ host shipping its own state) or from the built-in N-body
+// simulation (Sim — a self-contained benchmark/demo tenant). Exactly one
+// of the two must be set.
+type JobSpec struct {
+	// Name is an optional client label echoed in statuses and events.
+	Name string `json:"name,omitempty"`
+	// L is the periodic cube side: the domain is [0, L)^3.
+	L float64 `json:"l"`
+	// Blocks is the number of blocks (= ranks) of the job's session.
+	Blocks int `json:"blocks"`
+	// Ghost overrides the ghost-region thickness (default 4, as in
+	// NewPeriodicConfig).
+	Ghost float64 `json:"ghost,omitempty"`
+	// Workers pins the per-rank worker count; 0 (default) lets the job
+	// draw its fair share of the daemon's worker budget.
+	Workers int `json:"workers,omitempty"`
+	// Decomposition selects "grid" (default) or "rcb".
+	Decomposition string `json:"decomposition,omitempty"`
+	// MinVolume / MaxVolume are the cell-volume culls (0 = off).
+	MinVolume float64 `json:"min_volume,omitempty"`
+	MaxVolume float64 `json:"max_volume,omitempty"`
+
+	// Snapshots holds one particle set per step, each particle a [3]float64
+	// position inside the domain. IDs are assigned sequentially per
+	// snapshot, matching tess.ParticlesFromPositions.
+	Snapshots [][][3]float64 `json:"snapshots,omitempty"`
+	// Sim generates the job's snapshots from the built-in N-body
+	// simulation instead (mutually exclusive with Snapshots).
+	Sim *SimSpec `json:"sim,omitempty"`
+
+	// Fault arms the deterministic fault-injection plan for this job —
+	// the chaos-testing surface: a tenant may carry its own crash or delay
+	// schedule, and the daemon must contain it.
+	Fault *FaultSpec `json:"fault,omitempty"`
+
+	// IncludeMesh streams each step's merged canonical mesh (the
+	// decomposition-independent encoding) back in the step event, base64
+	// over NDJSON.
+	IncludeMesh bool `json:"include_mesh,omitempty"`
+	// IncludeObs attaches a per-step observability recorder and streams
+	// each step's counters and imbalance in the step event.
+	IncludeObs bool `json:"include_obs,omitempty"`
+}
+
+// SimSpec generates job snapshots from the built-in N-body simulation:
+// NG^3 particles in an NG^3 box, tessellated every Every sim steps, Steps
+// tessellation steps in total.
+type SimSpec struct {
+	NG    int `json:"ng"`
+	Steps int `json:"steps"`
+	Every int `json:"every,omitempty"`
+}
+
+// FaultSpec is the JSON form of tess.FaultPlan (durations in
+// milliseconds, the natural unit at job scale).
+type FaultSpec struct {
+	Seed              int64 `json:"seed,omitempty"`
+	CrashRank         int   `json:"crash_rank,omitempty"`
+	CrashStep         int   `json:"crash_step,omitempty"`
+	ComputeDelayMaxMS int64 `json:"compute_delay_max_ms,omitempty"`
+	SendDelayMaxMS    int64 `json:"send_delay_max_ms,omitempty"`
+}
+
+// plan converts the wire form to the engine plan.
+func (f *FaultSpec) plan() *tess.FaultPlan {
+	if f == nil {
+		return nil
+	}
+	return &tess.FaultPlan{
+		Seed:            f.Seed,
+		CrashRank:       f.CrashRank,
+		CrashStep:       f.CrashStep,
+		ComputeDelayMax: time.Duration(f.ComputeDelayMaxMS) * time.Millisecond,
+		SendDelayMax:    time.Duration(f.SendDelayMaxMS) * time.Millisecond,
+	}
+}
+
+// badSpec builds an ErrBadSpec-wrapped validation error.
+func badSpec(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the spec against the daemon's admission limits. It is
+// the cheap synchronous part of admission control: anything it rejects
+// never occupies a queue slot. Errors wrap ErrBadSpec.
+func (s *JobSpec) Validate(limits Limits) error {
+	if s.Sim != nil {
+		// A sim job's domain is fixed by the simulation (an NG^3 box); l may
+		// be omitted or must agree.
+		if s.L != 0 && s.L != float64(s.Sim.NG) {
+			return badSpec("sim jobs run in an ng^3 box; l = %g conflicts with ng = %d", s.L, s.Sim.NG)
+		}
+	} else if s.L <= 0 {
+		return badSpec("domain side l = %g, want > 0", s.L)
+	}
+	if s.Blocks < 1 {
+		return badSpec("blocks = %d, want >= 1", s.Blocks)
+	}
+	if limits.MaxBlocks > 0 && s.Blocks > limits.MaxBlocks {
+		return badSpec("blocks = %d exceeds the daemon's limit of %d", s.Blocks, limits.MaxBlocks)
+	}
+	switch s.Decomposition {
+	case "", "grid", "rcb":
+	default:
+		return badSpec("decomposition %q, want \"grid\" or \"rcb\"", s.Decomposition)
+	}
+	hasSnaps, hasSim := len(s.Snapshots) > 0, s.Sim != nil
+	if hasSnaps == hasSim {
+		return badSpec("exactly one of snapshots or sim must be set")
+	}
+	steps := len(s.Snapshots)
+	if hasSim {
+		if s.Sim.NG < 2 {
+			return badSpec("sim.ng = %d, want >= 2", s.Sim.NG)
+		}
+		if s.Sim.Steps < 1 {
+			return badSpec("sim.steps = %d, want >= 1", s.Sim.Steps)
+		}
+		steps = s.Sim.Steps
+	}
+	if limits.MaxSteps > 0 && steps > limits.MaxSteps {
+		return badSpec("%d steps exceeds the daemon's limit of %d", steps, limits.MaxSteps)
+	}
+	var nmax int
+	for i, snap := range s.Snapshots {
+		if len(snap) == 0 {
+			return badSpec("snapshot %d is empty", i)
+		}
+		if len(snap) > nmax {
+			nmax = len(snap)
+		}
+		for j, p := range snap {
+			for _, c := range p {
+				if !(c >= 0 && c < s.L) { // also rejects NaN
+					return badSpec("snapshot %d particle %d at %v outside [0, %g)^3", i, j, p, s.L)
+				}
+			}
+		}
+	}
+	if limits.MaxParticles > 0 && nmax > limits.MaxParticles {
+		return badSpec("%d particles exceeds the daemon's limit of %d", nmax, limits.MaxParticles)
+	}
+	if f := s.Fault; f != nil {
+		if f.CrashStep > 0 && (f.CrashRank < 0 || f.CrashRank >= s.Blocks) {
+			return badSpec("fault.crash_rank = %d outside [0, %d)", f.CrashRank, s.Blocks)
+		}
+		if f.ComputeDelayMaxMS < 0 || f.SendDelayMaxMS < 0 {
+			return badSpec("fault delays must be >= 0")
+		}
+	}
+	return nil
+}
+
+// Steps returns the number of tessellation steps the job will run.
+func (s *JobSpec) Steps() int {
+	if s.Sim != nil {
+		return s.Sim.Steps
+	}
+	return len(s.Snapshots)
+}
+
+// domainL is the effective periodic cube side: l for inline jobs, the
+// simulation's ng for sim jobs.
+func (s *JobSpec) domainL() float64 {
+	if s.Sim != nil {
+		return float64(s.Sim.NG)
+	}
+	return s.L
+}
+
+// config builds the tess.Config for the job, drawing default workers from
+// the daemon's budget and honoring the daemon's stall watchdog default.
+func (s *JobSpec) config(budget *tess.WorkerBudget, stall time.Duration) tess.Config {
+	opts := []tess.Option{tess.WithBudget(budget)}
+	if s.Ghost > 0 {
+		opts = append(opts, tess.WithGhostSize(s.Ghost))
+	}
+	if s.Workers > 0 {
+		opts = append(opts, tess.WithWorkers(s.Workers))
+	}
+	if s.Decomposition == "rcb" {
+		opts = append(opts, tess.WithDecomposition(tess.DecomposeRCB))
+	}
+	if p := s.Fault.plan(); p != nil {
+		opts = append(opts, tess.WithFaults(p))
+	}
+	if stall > 0 {
+		opts = append(opts, tess.WithStallTimeout(stall))
+	}
+	cfg := tess.NewPeriodicConfig(s.domainL(), opts...)
+	cfg.MinVolume = s.MinVolume
+	cfg.MaxVolume = s.MaxVolume
+	return cfg
+}
+
+// snapshotSource yields the job's per-step particle sets in order: a
+// replay of inline Snapshots, or live N-body evolution for a Sim job.
+type snapshotSource interface {
+	next() ([]tess.Particle, error)
+}
+
+// inlineSource replays JobSpec.Snapshots.
+type inlineSource struct {
+	snaps [][][3]float64
+	i     int
+}
+
+func (src *inlineSource) next() ([]tess.Particle, error) {
+	snap := src.snaps[src.i]
+	src.i++
+	out := make([]tess.Particle, len(snap))
+	for j, p := range snap {
+		out[j] = tess.Particle{ID: int64(j), Pos: tess.Vec3{X: p[0], Y: p[1], Z: p[2]}}
+	}
+	return out, nil
+}
+
+// simSource evolves the built-in N-body simulation Every steps between
+// tessellations.
+type simSource struct {
+	sim   *nbody.Simulation
+	every int
+	first bool
+}
+
+func (src *simSource) next() ([]tess.Particle, error) {
+	if !src.first {
+		for i := 0; i < src.every; i++ {
+			src.sim.StepOnce()
+		}
+	}
+	src.first = false
+	return tess.ParticlesFromSim(src.sim), nil
+}
+
+// source builds the job's snapshot source. For Sim jobs it creates the
+// simulation (which may fail on bad parameters).
+func (s *JobSpec) source() (snapshotSource, error) {
+	if s.Sim != nil {
+		sim, err := nbody.New(nbody.DefaultConfig(s.Sim.NG))
+		if err != nil {
+			return nil, fmt.Errorf("jobd: sim init: %w", err)
+		}
+		every := s.Sim.Every
+		if every < 1 {
+			every = 1
+		}
+		return &simSource{sim: sim, every: every, first: true}, nil
+	}
+	return &inlineSource{snaps: s.Snapshots}, nil
+}

@@ -1,6 +1,10 @@
 package tess
 
-import "repro/internal/core"
+import (
+	"time"
+
+	"repro/internal/core"
+)
 
 // Session is a persistent tessellation pipeline for repeated passes over
 // the same domain decomposition — the in situ pattern of tessellating
@@ -56,6 +60,14 @@ func (s *Session) StepTo(particles []Particle, outputPath string) (*Output, erro
 // (nothing will overwrite it any more), but no further Step may run.
 func (s *Session) Close() error { return s.s.Close() }
 
+// Abort kills the session's world with cause, from any goroutine: a Step
+// in flight unblocks and returns an error whose chain carries cause (and
+// ErrWorldAborted), and every later Step fails fast with the same cause.
+// It is the cancellation entry point for a host multiplexing many
+// sessions — one goroutine drives Steps while another aborts. Close must
+// still be called to release the session.
+func (s *Session) Abort(cause error) { s.s.Abort(cause) }
+
 // Steps returns the number of completed steps.
 func (s *Session) Steps() int { return s.s.Steps() }
 
@@ -82,6 +94,10 @@ type SessionStats struct {
 	// ratio (slowest rank over mean; 1 = perfectly balanced, 0 before the
 	// first step) — the signal compared against Config.RebalanceThreshold.
 	LastImbalance float64
+	// Uptime is how long the session has been open. Like every other field
+	// here it is cumulative session state: a per-step obs Recorder Reset
+	// (which wipes each step's counters) never touches it.
+	Uptime time.Duration
 }
 
 // Stats returns the session's aggregate statistics.
@@ -93,5 +109,6 @@ func (s *Session) Stats() SessionStats {
 		Steps:         s.s.Steps(),
 		Rebalances:    s.s.Rebalances(),
 		LastImbalance: s.s.LastImbalance(),
+		Uptime:        s.s.Uptime(),
 	}
 }
