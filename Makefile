@@ -12,7 +12,7 @@ GO ?= go
 # than letting CI sit for the default 10 minutes.
 TEST_TIMEOUT ?= 4m
 
-.PHONY: build test vet lint race cover faults jobd-e2e check bench bench-insitu bench-balance
+.PHONY: build test vet lint race cover faults jobd-e2e check bench bench-insitu bench-balance bench-density
 
 build:
 	$(GO) build ./...
@@ -31,10 +31,11 @@ race:
 
 # Coverage floor on the observability-critical packages: the recorder
 # itself, the comm layer that feeds its counters, the ghost exchange
-# whose conservation laws the counters are tested against, and the
+# whose conservation laws the counters are tested against, the
 # multi-tenant daemon whose admission/cancel/containment paths the e2e
-# suite drives.
-COVER_PKGS  = ./internal/obs ./internal/comm ./internal/diy ./internal/jobd
+# suite drives, and the density pipeline whose byte-identity and
+# mass-conservation oracles gate the density job kind.
+COVER_PKGS  = ./internal/obs ./internal/comm ./internal/diy ./internal/jobd ./internal/density
 COVER_FLOOR = 70
 
 cover:
@@ -77,3 +78,9 @@ bench-insitu:
 # uniform and clustered inputs; writes BENCH_balance.json.
 bench-balance:
 	$(GO) run ./cmd/tessbench -balance -balance-json BENCH_balance.json
+
+# Density-pipeline benchmark: cold (Compute per snapshot) vs warm
+# (Session.StepDensity), byte-identity verified before timing; writes
+# BENCH_density.json.
+bench-density:
+	$(GO) run ./cmd/tessbench -density -density-json BENCH_density.json

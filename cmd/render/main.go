@@ -118,7 +118,10 @@ func main() {
 			log.Fatal(ferr)
 		}
 		m := 64
-		grid := f.SampleGrid(m, geom.NewBox(geom.Vec3{}, geom.V(L, L, L)))
+		grid, sst := f.SampleGrid(m, geom.NewBox(geom.Vec3{}, geom.V(L, L, L)))
+		if sst.Degenerate > 0 {
+			log.Fatalf("dtfe: %d degenerate samples (broken triangulation)", sst.Degenerate)
+		}
 		img, err = viz.RenderGridSlice(grid, m, int(cfg.Z/L*float64(m))%m, *px, cfg.LogScale)
 	case "streams":
 		if simPos == nil {

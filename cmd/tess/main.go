@@ -10,6 +10,13 @@
 //
 //	tess [-n 8] [-box 8] [-blocks 2] [-workers 0] [-seed 1] [-amp 0.6]
 //	     [-ghost 3] [-o mesh.bin] [-trace out.json] [-canonical merged.bin]
+//	     [-density 0] [-spectrum] [-density-o grid.bin]
+//
+// With -density N the run additionally pushes the snapshot through the
+// streaming density pipeline (DTFE interpolation onto an N^3 sample grid
+// via a tessellation session) and prints the field statistics; -spectrum
+// adds the binned power spectrum (N must be a power of two), and
+// -density-o writes the raw little-endian float64 grid.
 package main
 
 import (
@@ -45,6 +52,9 @@ func run(args []string, w io.Writer) error {
 		outPath   = fs.String("o", "", "write block meshes to this file")
 		trace     = fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		canonical = fs.String("canonical", "", "write the canonical merged mesh to this file")
+		densityN  = fs.Int("density", 0, "density sample-grid resolution (0 = skip the density pipeline)")
+		spectrum  = fs.Bool("spectrum", false, "with -density, also compute the power spectrum")
+		densityO  = fs.String("density-o", "", "with -density, write the raw grid to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +101,11 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "trace: %s\n", *trace)
 	}
+	if *densityN > 0 {
+		if err := runDensity(w, cfg, ps, *blocks, *densityN, *spectrum, *densityO); err != nil {
+			return err
+		}
+	}
 	if *canonical != "" {
 		m, err := tess.MergeCanonical(out.Meshes, cfg.Domain, cfg.Periodic)
 		if err != nil {
@@ -104,6 +119,47 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "canonical: %s (%d cells, %d bytes)\n", *canonical, m.NumCells(), len(data))
+	}
+	return nil
+}
+
+// runDensity pushes the snapshot through a session's density pipeline and
+// prints the field statistics, percentiles, and (optionally) the low-k end
+// of the power spectrum.
+func runDensity(w io.Writer, cfg tess.Config, ps []tess.Particle, blocks, gridN int, spectrum bool, outPath string) error {
+	sess, err := tess.Open(cfg, blocks)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	res, err := sess.StepDensity(ps, tess.DensityConfig{GridN: gridN, Spectrum: spectrum})
+	if err != nil {
+		return fmt.Errorf("density pipeline: %w", err)
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "density: grid %d^3  tets %d  padded %d tracers\n", res.GridN, res.Tets, res.Padded)
+	fmt.Fprintf(w, "density: mean %.4g  min %.4g  max %.4g  void frac %.3f\n",
+		st.Mean, st.Min, st.Max, st.VoidFrac)
+	fmt.Fprintf(w, "density: mass grid %.6g  tracers %.6g  (ratio %.4f)\n",
+		st.GridMass, st.TracerMass, st.GridMass/st.TracerMass)
+	for _, p := range st.Percentiles {
+		fmt.Fprintf(w, "density: p%-4g %.4g\n", p.P, p.Value)
+	}
+	if spectrum {
+		kmax := len(res.Spectrum)
+		if kmax > 8 {
+			kmax = 8
+		}
+		for _, b := range res.Spectrum[:kmax] {
+			fmt.Fprintf(w, "spectrum: k %.4g  P %.6g  (%d modes)\n", b.K, b.Power, b.Count)
+		}
+	}
+	if outPath != "" {
+		data := tess.EncodeDensityGrid(res.Grid)
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "density: wrote %s (%d bytes)\n", outPath, len(data))
 	}
 	return nil
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/density"
+	"repro/internal/geom"
+)
+
+// The -density mode measures the streaming density pipeline: the
+// steady-state per-snapshot cost of DTFE density estimation onto a sample
+// grid plus the power spectrum, cold (one-shot density.Compute per step,
+// rebuilding triangulation scratch, estimator accumulators, and grid
+// buffers every time) versus warm (core.Session.StepDensity, everything
+// retained). Grid bytes are identical on both paths — the benchmark
+// verifies that before timing anything.
+
+// densityBenchResult is the BENCH_density.json document.
+type densityBenchResult struct {
+	Ng        int             `json:"ng"`
+	Particles int             `json:"particles"`
+	GridN     int             `json:"grid_n"`
+	Blocks    int             `json:"blocks"`
+	Workers   int             `json:"workers"`
+	Snapshots int             `json:"snapshots"`
+	Spectrum  bool            `json:"spectrum"`
+	Cold      insituBenchSide `json:"cold"`
+	Warm      insituBenchSide `json:"warm"`
+	// Speedup is cold ns / warm ns; AllocsRatio is cold allocs / warm.
+	Speedup     float64 `json:"speedup"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+	// MassRatio is the final snapshot's grid mass over tracer mass — the
+	// conservation diagnostic, recorded so regressions show up in CI
+	// artifacts.
+	MassRatio float64 `json:"mass_ratio"`
+}
+
+func runDensityBench(jsonPath string) {
+	const (
+		ng      = 16
+		gridN   = 32
+		blocks  = 4
+		workers = 2
+		nsnaps  = 4
+	)
+	snaps := benchSnapshots(ng, nsnaps)
+	domain := geom.NewBox(geom.V(0, 0, 0), geom.V(ng, ng, ng))
+	cfg := core.Config{
+		Domain:    domain,
+		Periodic:  true,
+		GhostSize: ghostFor(domain, blocks),
+		Workers:   workers,
+	}
+	dc := density.Config{GridN: gridN, Spectrum: true}
+	oracleCfg := dc
+	oracleCfg.Box = domain
+	oracleCfg.Periodic = true
+	oracleCfg.Pad = cfg.GhostSize
+
+	pts := make([][]geom.Vec3, len(snaps))
+	for i, ps := range snaps {
+		pts[i] = make([]geom.Vec3, len(ps))
+		for j, p := range ps {
+			pts[i][j] = p.Pos
+		}
+	}
+
+	// Correctness gate before timing: warm session grids must be
+	// byte-identical to the cold one-shot oracle on every snapshot.
+	sess, err := core.OpenSession(cfg, blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	var massRatio float64
+	for i, ps := range snaps {
+		res, err := sess.StepDensity(ps, dc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := density.Compute(oracleCfg, pts[i], nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(density.EncodeGrid(res.Grid), density.EncodeGrid(ref.Grid)) {
+			log.Fatalf("snapshot %d: warm grid differs from cold oracle", i)
+		}
+		massRatio = res.Stats.GridMass / res.Stats.TracerMass
+	}
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := density.Compute(oracleCfg, pts[i%len(pts)], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.StepDensity(snaps[i%len(snaps)], dc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	res := densityBenchResult{
+		Ng:        ng,
+		Particles: ng * ng * ng,
+		GridN:     gridN,
+		Blocks:    blocks,
+		Workers:   workers,
+		Snapshots: nsnaps,
+		Spectrum:  true,
+		Cold:      benchSide(cold),
+		Warm:      benchSide(warm),
+		MassRatio: massRatio,
+	}
+	if res.Warm.NsPerOp > 0 {
+		res.Speedup = float64(res.Cold.NsPerOp) / float64(res.Warm.NsPerOp)
+	}
+	if res.Warm.AllocsPerOp > 0 {
+		res.AllocsRatio = float64(res.Cold.AllocsPerOp) / float64(res.Warm.AllocsPerOp)
+	}
+
+	fmt.Println("DENSITY PIPELINE: cold (Compute per step) vs warm (Session.StepDensity)")
+	fmt.Printf("%d^3 particles -> %d^3 grid + spectrum, %d blocks, %d workers/block, %d evolving snapshots\n\n",
+		ng, gridN, blocks, workers, nsnaps)
+	fmt.Printf("%-6s %12s %14s %14s\n", "", "ns/op", "allocs/op", "B/op")
+	fmt.Printf("%-6s %12d %14d %14d\n", "cold", res.Cold.NsPerOp, res.Cold.AllocsPerOp, res.Cold.BytesPerOp)
+	fmt.Printf("%-6s %12d %14d %14d\n", "warm", res.Warm.NsPerOp, res.Warm.AllocsPerOp, res.Warm.BytesPerOp)
+	fmt.Printf("\nspeedup %.2fx, allocs ratio %.1fx, mass ratio %.4f\n",
+		res.Speedup, res.AllocsRatio, res.MassRatio)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}

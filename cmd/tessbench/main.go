@@ -16,6 +16,7 @@
 //	tessbench -faults [-seed N]
 //	tessbench -insitu [-insitu-json FILE]
 //	tessbench -balance [-balance-json FILE]
+//	tessbench -density [-density-json FILE]
 //
 // The -insitu mode benchmarks the persistent-session API: the steady-state
 // per-step cost of repeated tessellation through one Session (warm) against
@@ -24,6 +25,11 @@
 // The -balance mode benchmarks the particle-balanced RCB decomposition
 // against the equal-volume grid on uniform and clustered particle sets,
 // reporting slowest-rank compute times and per-rank imbalance ratios.
+//
+// The -density mode benchmarks the streaming density pipeline (DTFE onto
+// a sample grid plus power spectrum): cold one-shot Compute per snapshot
+// against a warm Session.StepDensity, after verifying both produce
+// byte-identical grids.
 //
 // The -faults mode runs the graceful-degradation battery instead of the
 // performance tables: seeded crash-at-step-N plans across 2- and 8-block
@@ -70,6 +76,8 @@ func main() {
 		insituOut  = flag.String("insitu-json", "", "write the -insitu comparison to this JSON file")
 		balance    = flag.Bool("balance", false, "benchmark equal-volume grid vs particle-balanced RCB decomposition on uniform and clustered inputs instead of the performance tables")
 		balanceOut = flag.String("balance-json", "", "write the -balance comparison to this JSON file")
+		densityB   = flag.Bool("density", false, "benchmark cold (Compute per snapshot) vs warm (Session.StepDensity) density pipelines instead of the performance tables")
+		densityOut = flag.String("density-json", "", "write the -density comparison to this JSON file")
 	)
 	flag.Parse()
 
@@ -85,6 +93,10 @@ func main() {
 	}
 	if *balance {
 		runBalanceBench(*balanceOut)
+		return
+	}
+	if *densityB {
+		runDensityBench(*densityOut)
 		return
 	}
 

@@ -16,6 +16,10 @@
 //	tessctl cancel <job-id>
 //	tessctl watch [-from N] <job-id>
 //	    Stream a job's events as NDJSON to stdout (resumable via -from).
+//	tessctl density [-step N] [-z K] [-o FILE] <job-id>
+//	    Fetch a density-job step's sample grid (raw little-endian
+//	    float64) — the whole N^3 grid, or one z-plane with -z. Writes to
+//	    -o, or stdout when -o is "-".
 //	tessctl stats
 //
 // Exit status: 0 on success; 1 on API or usage errors; 2 when -wait saw
@@ -39,7 +43,7 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8437", "daemon base URL")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tessctl [-addr URL] {submit|status|list|cancel|watch|stats} [args]\n")
+			"usage: tessctl [-addr URL] {submit|status|list|cancel|watch|density|stats} [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,6 +67,8 @@ func main() {
 		err = printJSON(c.Stats(ctx))
 	case "watch":
 		err = runWatch(ctx, c, flag.Args()[1:])
+	case "density":
+		err = runDensity(ctx, c, flag.Args()[1:])
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -164,6 +170,40 @@ func runWatch(ctx context.Context, c *jobd.Client, args []string) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	return c.Events(ctx, fs.Arg(0), *from, func(e jobd.Event) error { return enc.Encode(e) })
+}
+
+// runDensity fetches one step's density grid (or z-plane) from the
+// daemon's slice endpoint.
+func runDensity(ctx context.Context, c *jobd.Client, args []string) error {
+	fs := flag.NewFlagSet("density", flag.ExitOnError)
+	step := fs.Int("step", 1, "1-based step number")
+	z := fs.Int("z", -1, "fetch only this z-plane (-1 = whole grid)")
+	out := fs.String("o", "-", "output file (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one job ID argument")
+	}
+	var (
+		grid []byte
+		n    int
+		err  error
+	)
+	if *z >= 0 {
+		grid, n, err = c.DensitySlice(ctx, fs.Arg(0), *step, *z)
+	} else {
+		grid, n, err = c.DensityGrid(ctx, fs.Arg(0), *step)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tessctl: step %d grid %d^3, %d bytes\n", *step, n, len(grid))
+	if *out == "-" {
+		_, err = os.Stdout.Write(grid)
+		return err
+	}
+	return os.WriteFile(*out, grid, 0o644)
 }
 
 func terminalEvent(e jobd.Event) bool {

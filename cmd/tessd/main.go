@@ -9,7 +9,7 @@
 //
 //	tessd [-addr :8437] [-queue 16] [-active 2] [-budget 0]
 //	      [-stall 30s] [-max-blocks 64] [-max-steps 1024]
-//	      [-max-particles 1000000]
+//	      [-max-particles 1000000] [-max-grid 128]
 //
 // Submit and watch jobs with the tessctl client (cmd/tessctl), or plain
 // curl:
@@ -42,6 +42,7 @@ func main() {
 	maxBlocks := flag.Int("max-blocks", 64, "max blocks per job (0 = unlimited)")
 	maxSteps := flag.Int("max-steps", 1024, "max steps per job (0 = unlimited)")
 	maxParticles := flag.Int("max-particles", 1_000_000, "max particles per snapshot (0 = unlimited)")
+	maxGrid := flag.Int("max-grid", 128, "max density sample-grid resolution per axis (0 = unlimited)")
 	flag.Parse()
 
 	d := jobd.New(jobd.Config{
@@ -53,6 +54,7 @@ func main() {
 			MaxBlocks:    *maxBlocks,
 			MaxSteps:     *maxSteps,
 			MaxParticles: *maxParticles,
+			MaxGridN:     *maxGrid,
 		},
 	})
 

@@ -64,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	grid := field.SampleGrid(8, tess.Box{Max: tess.Vec3{X: ng, Y: ng, Z: ng}})
+	grid, _ := field.SampleGrid(8, tess.Box{Max: tess.Vec3{X: ng, Y: ng, Z: ng}})
 	gm := stats.ComputeMoments(grid)
 	fmt.Printf("\nDTFE field sampled on an 8^3 grid at step %d:\n", last.Step)
 	fmt.Printf("  mean %.3f, max %.3f, skewness %.2f (clustered field reads highly skewed)\n",

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/density"
+	"repro/internal/diy"
+	"repro/internal/dtfe"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// StepDensity runs the streaming density pipeline over one snapshot's
+// particles through the session's ranks: rank 0 triangulates (phase
+// "triangulate"), every rank interpolates a contiguous grid slab with its
+// worker share (phase "interpolate"), and the statistics/spectrum
+// reduction (phase "spectrum") runs after the ranks join. The pipeline is
+// retained across steps — triangulation scratch, estimator accumulators,
+// and the sample grid all stay warm — and is rebuilt only when dc changes.
+//
+// A zero dc.Box inherits the session's domain, periodicity, and ghost
+// size as the periodic padding depth. Faults injected at the "density"
+// checkpoint and stalls degrade exactly like tessellation steps: the
+// world aborts, the error is structured, and the session turns terminal.
+//
+// Grid bytes are byte-identical to a direct density.Compute of the same
+// particles under the same config, for any block or worker count: slab
+// interpolation only reads the immutable triangulation through a
+// deterministic locator (the decomposition-independence oracle pinned by
+// the tests).
+//
+// The returned Result is a loan like Step's Output: its grid lives in the
+// pipeline's retained buffer and is overwritten by the next StepDensity.
+// Clone it to keep it.
+//
+//tess:loaned
+func (s *Session) StepDensity(particles []diy.Particle, dc density.Config) (*density.Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("core: session is closed")
+	}
+	if s.terminal == nil {
+		if werr := s.w.Err(); werr != nil {
+			s.terminal = werr
+		}
+	}
+	if s.terminal != nil {
+		return nil, fmt.Errorf("core: session terminally failed at step %d: %w", s.steps, s.terminal)
+	}
+	if dc.Box == (geom.Box{}) {
+		dc.Box = s.cfg.Domain
+		dc.Periodic = s.cfg.Periodic
+		if dc.Pad <= 0 {
+			dc.Pad = s.cfg.GhostSize
+		}
+	}
+	if dc.Periodic {
+		for _, p := range particles {
+			if !dc.Box.Contains(p.Pos) {
+				return nil, fmt.Errorf("core: particle %d at %v outside periodic density box", p.ID, p.Pos)
+			}
+		}
+	}
+	if s.dens == nil || !sameDensityConfig(s.densCfg, dc) {
+		p, err := density.New(dc)
+		if err != nil {
+			return nil, err
+		}
+		s.dens = p
+		s.densCfg = dc
+	}
+	s.densPts = s.densPts[:0]
+	for _, p := range particles {
+		s.densPts = append(s.densPts, p.Pos)
+	}
+	if s.densStats == nil {
+		s.densStats = make([]dtfe.SampleStats, s.numBlocks)
+	}
+
+	// Spans append to the current recorder epoch (no Reset here): a
+	// snapshot's Step and StepDensity share one observation window, so the
+	// trace shows tessellation and density phases side by side.
+	rec := s.cfg.Recorder
+	inj := s.cfg.injector
+	n := dc.GridN
+	blocks := s.numBlocks
+	workers := EffectiveWorkers(s.cfg, s.w.Size())
+	var triErr error
+	runErr := s.w.Run(func(rank int) {
+		inj.Checkpoint(rank, "density")
+		if rank == 0 {
+			sp := rec.Begin(0, obs.PhaseTriangulate)
+			err := s.dens.Triangulate(s.densPts, nil)
+			rec.End(0, sp)
+			if err != nil {
+				triErr = err
+				// Release the peers blocked in the barrier below: without
+				// the abort they would wait forever on a phase that is
+				// never coming.
+				s.w.Abort(&comm.RankError{Rank: 0, Value: err})
+			}
+		}
+		// Barrier gives every rank a happens-before edge on rank 0's
+		// triangulation (or unwinds if it aborted).
+		s.w.BarrierRank(rank)
+		sp := rec.Begin(rank, obs.PhaseInterpolate)
+		s.densStats[rank] = s.dens.InterpolateSlab(rank*n/blocks, (rank+1)*n/blocks, workers)
+		rec.End(rank, sp)
+		s.w.BarrierRank(rank)
+	})
+	if werr := s.w.Err(); werr != nil {
+		s.terminal = werr
+	}
+	if triErr != nil {
+		return nil, fmt.Errorf("core: density step: %w", triErr)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("core: %w", runErr)
+	}
+
+	var sample dtfe.SampleStats
+	for _, st := range s.densStats {
+		sample.Add(st)
+	}
+	// The reduction is serial; Run's join makes the grid visible here, and
+	// rank 0's recorder slot has no other writer after the world returned.
+	sp := rec.Begin(0, obs.PhaseSpectrum)
+	res := s.dens.Finalize(sample)
+	rec.End(0, sp)
+	if rec != nil {
+		res.Obs = rec.Snapshot()
+	}
+	s.densitySteps++
+	return res, nil
+}
+
+// DensitySteps returns the number of completed density pipeline steps.
+func (s *Session) DensitySteps() int { return s.densitySteps }
+
+// sameDensityConfig reports whether two density configs describe the same
+// workload (so the retained pipeline can be reused).
+func sameDensityConfig(a, b density.Config) bool {
+	if a.GridN != b.GridN || a.Box != b.Box || a.Periodic != b.Periodic ||
+		a.Pad != b.Pad || a.Spectrum != b.Spectrum || a.VoidThreshold != b.VoidThreshold {
+		return false
+	}
+	if len(a.Percentiles) != len(b.Percentiles) {
+		return false
+	}
+	for i := range a.Percentiles {
+		if a.Percentiles[i] != b.Percentiles[i] {
+			return false
+		}
+	}
+	return true
+}

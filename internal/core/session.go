@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/density"
 	"repro/internal/diy"
+	"repro/internal/dtfe"
 	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/meshio"
@@ -87,6 +89,15 @@ type Session struct {
 	rebalances    int
 
 	warmID, coldID obs.CounterID // valid when cfg.Recorder != nil
+
+	// Warm density-pipeline state (StepDensity). The pipeline retains its
+	// triangulation scratch, estimator accumulators, and grid buffers
+	// across steps; it is rebuilt only when the density config changes.
+	dens         *density.Pipeline
+	densCfg      density.Config
+	densPts      []geom.Vec3
+	densStats    []dtfe.SampleStats
+	densitySteps int
 }
 
 // rankState is the retained per-rank pipeline state of a session.

@@ -32,6 +32,21 @@ type Tet struct {
 type Triangulation struct {
 	Points []geom.Vec3
 	Tets   []Tet
+	// Rep maps each input point to the vertex that represents it in the
+	// triangulation: Rep[i] == i for points that became vertices, and the
+	// index of the earlier coincident vertex for points merged away as
+	// duplicates. A nil Rep (hand-built triangulations) means the identity
+	// mapping.
+	Rep []int
+}
+
+// Representative returns the vertex index that represents input point i
+// (i itself unless i was merged away as a duplicate).
+func (tr *Triangulation) Representative(i int) int {
+	if tr.Rep == nil {
+		return i
+	}
+	return tr.Rep[i]
 }
 
 type tet struct {
@@ -40,17 +55,56 @@ type tet struct {
 	dead bool
 }
 
+// bface is one boundary face of a Bowyer-Watson cavity.
+type bface struct {
+	verts   [3]int // oriented facing away from the cavity
+	outside int    // neighbor tet beyond the face, or -1
+}
+
 type builder struct {
 	pts  []geom.Vec3 // input points + 4 super vertices at the end
 	n    int         // number of real points
 	tets []tet
-	last int // walk start hint
+	last int   // walk start hint
+	rep  []int // rep[i]: representative vertex of a merged duplicate, else i
+
+	// Per-insert workspace, retained across insertions (and, through
+	// Builder, across whole builds).
+	cavity   []int
+	inCav    []uint32 // stamp array: inCav[t] == stamp means t is in the cavity
+	stamp    uint32
+	boundary []bface
+	faceMap  map[[3]int]int
+
+	// Output buffers reused across builds.
+	outTets []Tet
+	remap   []int
+}
+
+// Builder is a reusable triangulation workspace. The zero value is ready to
+// use; successive Builds reuse the previous build's tet, cavity, and output
+// storage, removing most allocation from warm in situ rebuilds.
+//
+// The Triangulation returned by Build aliases the Builder's buffers and is
+// valid only until the next Build on the same Builder; callers that need to
+// keep the previous mesh must copy it first (the same loan contract as
+// Session.Step). A Builder must not be used from multiple goroutines
+// concurrently.
+type Builder struct {
+	b builder
 }
 
 // Build computes the Delaunay tetrahedralization of pts. Duplicate points
 // (within ~1e-12 of the input extent) are merged: only the first occurrence
-// becomes a vertex.
+// becomes a vertex, and Rep records the mapping.
 func Build(pts []geom.Vec3) (*Triangulation, error) {
+	var s Builder
+	return s.Build(pts)
+}
+
+// Build is like the package-level Build but reuses the Builder's retained
+// buffers. See the Builder doc for the aliasing contract.
+func (s *Builder) Build(pts []geom.Vec3) (*Triangulation, error) {
 	if len(pts) < 4 {
 		return nil, ErrDegenerate
 	}
@@ -63,8 +117,17 @@ func Build(pts []geom.Vec3) (*Triangulation, error) {
 	size := math.Max(bb.Size().MaxAbs(), 1e-12)
 	c := bb.Center()
 
-	b := &builder{n: len(pts)}
-	b.pts = append(append([]geom.Vec3(nil), pts...), superVertices(c, size)...)
+	b := &s.b
+	b.n = len(pts)
+	b.pts = append(b.pts[:0], pts...)
+	b.pts = append(b.pts, superVertices(c, size)...)
+	if cap(b.rep) < len(pts) {
+		b.rep = make([]int, len(pts))
+	}
+	b.rep = b.rep[:len(pts)]
+	for i := range b.rep {
+		b.rep[i] = i
+	}
 
 	// Initial super-tetrahedron.
 	s0, s1, s2, s3 := len(pts), len(pts)+1, len(pts)+2, len(pts)+3
@@ -72,7 +135,8 @@ func Build(pts []geom.Vec3) (*Triangulation, error) {
 	if geom.Orient3DVal(b.pts[s0], b.pts[s1], b.pts[s2], b.pts[s3]) < 0 {
 		first.v[2], first.v[3] = first.v[3], first.v[2]
 	}
-	b.tets = []tet{first}
+	b.tets = append(b.tets[:0], first)
+	b.last = 0
 
 	dupEps := 1e-12 * size
 	for i := 0; i < len(pts); i++ {
@@ -82,35 +146,38 @@ func Build(pts []geom.Vec3) (*Triangulation, error) {
 	}
 
 	// Strip tetrahedra using super vertices.
-	tr := &Triangulation{Points: pts}
-	remap := make([]int, len(b.tets))
-	for i := range remap {
-		remap[i] = -1
+	if cap(b.remap) < len(b.tets) {
+		b.remap = make([]int, len(b.tets))
 	}
+	b.remap = b.remap[:len(b.tets)]
+	for i := range b.remap {
+		b.remap[i] = -1
+	}
+	b.outTets = b.outTets[:0]
 	for i, t := range b.tets {
 		if t.dead || t.v[0] >= b.n || t.v[1] >= b.n || t.v[2] >= b.n || t.v[3] >= b.n {
 			continue
 		}
-		remap[i] = len(tr.Tets)
-		tr.Tets = append(tr.Tets, Tet{V: t.v})
+		b.remap[i] = len(b.outTets)
+		b.outTets = append(b.outTets, Tet{V: t.v})
 	}
-	if len(tr.Tets) == 0 {
+	if len(b.outTets) == 0 {
 		return nil, ErrDegenerate
 	}
 	for i, t := range b.tets {
-		ni := remap[i]
+		ni := b.remap[i]
 		if ni < 0 {
 			continue
 		}
 		for f := 0; f < 4; f++ {
-			if t.nb[f] >= 0 && remap[t.nb[f]] >= 0 {
-				tr.Tets[ni].Nb[f] = remap[t.nb[f]]
+			if t.nb[f] >= 0 && b.remap[t.nb[f]] >= 0 {
+				b.outTets[ni].Nb[f] = b.remap[t.nb[f]]
 			} else {
-				tr.Tets[ni].Nb[f] = -1
+				b.outTets[ni].Nb[f] = -1
 			}
 		}
 	}
-	return tr, nil
+	return &Triangulation{Points: pts, Tets: b.outTets, Rep: b.rep}, nil
 }
 
 // superVertices returns four vertices of a huge regular tetrahedron around
@@ -125,6 +192,25 @@ func superVertices(c geom.Vec3, size float64) []geom.Vec3 {
 	}
 }
 
+// markCavity resets the cavity stamp for a new insertion; the stamp array
+// covers the tets that exist before the insertion appends new ones.
+func (b *builder) markCavity() {
+	if cap(b.inCav) < len(b.tets) {
+		b.inCav = make([]uint32, len(b.tets))
+		b.stamp = 0
+	}
+	b.inCav = b.inCav[:len(b.tets)]
+	b.stamp++
+	if b.stamp == 0 { // wrapped: clear and restart
+		clear(b.inCav)
+		b.stamp = 1
+	}
+}
+
+func (b *builder) inCavity(ti int) bool {
+	return b.inCav[ti] == b.stamp
+}
+
 // insert adds point index pi via Bowyer-Watson cavity retriangulation.
 func (b *builder) insert(pi int, dupEps float64) error {
 	p := b.pts[pi]
@@ -135,48 +221,48 @@ func (b *builder) insert(pi int, dupEps float64) error {
 	// Duplicate check against the containing tet's vertices.
 	for _, vi := range b.tets[ti].v {
 		if b.pts[vi].Dist(p) <= dupEps {
+			if vi < b.n {
+				b.rep[pi] = vi
+			}
 			return nil // merged duplicate
 		}
 	}
 
 	// Cavity: all tets whose circumsphere contains p, BFS from ti.
-	cavity := []int{ti}
-	inCavity := map[int]bool{ti: true}
-	for head := 0; head < len(cavity); head++ {
-		cur := cavity[head]
+	b.markCavity()
+	b.cavity = append(b.cavity[:0], ti)
+	b.inCav[ti] = b.stamp
+	for head := 0; head < len(b.cavity); head++ {
+		cur := b.cavity[head]
 		for _, nb := range b.tets[cur].nb {
-			if nb < 0 || inCavity[nb] || b.tets[nb].dead {
+			if nb < 0 || b.inCavity(nb) || b.tets[nb].dead {
 				continue
 			}
 			if b.inSphere(nb, p) {
-				inCavity[nb] = true
-				cavity = append(cavity, nb)
+				b.inCav[nb] = b.stamp
+				b.cavity = append(b.cavity, nb)
 			}
 		}
 	}
 
 	// Boundary faces of the cavity.
-	type bface struct {
-		verts   [3]int // oriented facing away from the cavity
-		outside int    // neighbor tet beyond the face, or -1
-	}
-	var boundary []bface
-	for _, ci := range cavity {
+	b.boundary = b.boundary[:0]
+	for _, ci := range b.cavity {
 		t := b.tets[ci]
 		for f := 0; f < 4; f++ {
 			nb := t.nb[f]
-			if nb >= 0 && inCavity[nb] {
+			if nb >= 0 && b.inCavity(nb) {
 				continue
 			}
 			fv := faceVerts(t.v, f)
-			boundary = append(boundary, bface{verts: fv, outside: nb})
+			b.boundary = append(b.boundary, bface{verts: fv, outside: nb})
 		}
 	}
-	if len(boundary) < 4 {
-		return fmt.Errorf("delaunay: degenerate cavity (%d boundary faces) inserting %v", len(boundary), p)
+	if len(b.boundary) < 4 {
+		return fmt.Errorf("delaunay: degenerate cavity (%d boundary faces) inserting %v", len(b.boundary), p)
 	}
 
-	for _, ci := range cavity {
+	for _, ci := range b.cavity {
 		b.tets[ci].dead = true
 	}
 
@@ -184,16 +270,19 @@ func (b *builder) insert(pi int, dupEps float64) error {
 	// oriented so that Orient3D(fv[0], fv[1], fv[2], apex-of-old-tet) > 0;
 	// the cavity interior (where p is) is on the other side, so (fv[0],
 	// fv[2], fv[1], p) is positively oriented.
-	newTets := make([]int, 0, len(boundary))
-	faceMap := make(map[[3]int]int, 3*len(boundary))
-	for _, bf := range boundary {
+	if b.faceMap == nil {
+		b.faceMap = make(map[[3]int]int, 3*len(b.boundary))
+	} else {
+		clear(b.faceMap)
+	}
+	firstNew := len(b.tets)
+	for _, bf := range b.boundary {
 		nt := tet{v: [4]int{bf.verts[0], bf.verts[2], bf.verts[1], pi}, nb: [4]int{-1, -1, -1, -1}}
 		if geom.Orient3DVal(b.pts[nt.v[0]], b.pts[nt.v[1]], b.pts[nt.v[2]], b.pts[nt.v[3]]) <= 0 {
 			nt.v[1], nt.v[2] = nt.v[2], nt.v[1]
 		}
 		idx := len(b.tets)
 		b.tets = append(b.tets, nt)
-		newTets = append(newTets, idx)
 
 		// Link across the boundary face to the outside tet.
 		if bf.outside >= 0 {
@@ -222,19 +311,19 @@ func (b *builder) insert(pi int, dupEps float64) error {
 				continue
 			}
 			key := sortedFace(faceVerts(b.tets[idx].v, f))
-			if other, ok := faceMap[key]; ok {
+			if other, ok := b.faceMap[key]; ok {
 				b.tets[idx].nb[f] = other >> 2
 				b.tets[other>>2].nb[other&3] = idx
-				delete(faceMap, key)
+				delete(b.faceMap, key)
 			} else {
-				faceMap[key] = idx<<2 | f
+				b.faceMap[key] = idx<<2 | f
 			}
 		}
 	}
-	if len(faceMap) != 0 {
-		return fmt.Errorf("delaunay: %d unmatched internal faces inserting %v", len(faceMap), p)
+	if len(b.faceMap) != 0 {
+		return fmt.Errorf("delaunay: %d unmatched internal faces inserting %v", len(b.faceMap), p)
 	}
-	b.last = newTets[0]
+	b.last = firstNew
 	return nil
 }
 

@@ -1,0 +1,127 @@
+package delaunay
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Locator answers repeated point-location queries against a fixed
+// Triangulation in roughly constant time by seeding an orientation walk
+// from a coarse uniform grid of precomputed starting tets. A Locator is
+// immutable after construction and safe for concurrent use, and a query's
+// result depends only on the triangulation and the query point — never on
+// query order or goroutine schedule — so grid sampling through a shared
+// Locator is deterministic under any parallel partitioning of the grid.
+type Locator struct {
+	tr    *Triangulation
+	box   geom.Box
+	inv   geom.Vec3 // seed cells per unit length along each axis
+	m     int
+	seeds []int32
+}
+
+// NewLocator builds a locator with m^3 seed cells; m <= 0 picks a
+// resolution from the tet count (about one seed cell per 8 tets), and m is
+// clamped to [1, 64]. The seed sweep itself walks serially in a fixed scan
+// order, so the resulting seeds are deterministic.
+func (tr *Triangulation) NewLocator(m int) *Locator {
+	if m <= 0 {
+		m = int(math.Cbrt(float64(len(tr.Tets)) / 8))
+	}
+	m = min(max(m, 1), 64)
+	box := geom.BoundingBox(tr.Points)
+	l := &Locator{tr: tr, box: box, m: m, seeds: make([]int32, m*m*m)}
+	size := box.Size()
+	invAxis := func(s float64) float64 {
+		if s <= 0 {
+			return 0
+		}
+		return float64(m) / s
+	}
+	l.inv = geom.V(invAxis(size.X), invAxis(size.Y), invAxis(size.Z))
+
+	cur := 0
+	idx := 0
+	for k := 0; k < m; k++ {
+		for j := 0; j < m; j++ {
+			for i := 0; i < m; i++ {
+				c := geom.Vec3{
+					X: box.Min.X + (float64(i)+0.5)*size.X/float64(m),
+					Y: box.Min.Y + (float64(j)+0.5)*size.Y/float64(m),
+					Z: box.Min.Z + (float64(k)+0.5)*size.Z/float64(m),
+				}
+				// Cell centers outside the hull (or walks that hit the
+				// degenerate-cycle cap) keep the previous seed: any live
+				// tet is a valid walk start.
+				if ti := tr.walk(c, cur); ti >= 0 {
+					cur = ti
+				}
+				l.seeds[idx] = int32(cur)
+				idx++
+			}
+		}
+	}
+	return l
+}
+
+// Locate returns the index of a tet containing p (with the same 1e-12
+// orientation tolerance as Triangulation.Locate), or -1 if p is outside
+// the convex hull.
+func (l *Locator) Locate(p geom.Vec3) int {
+	ti := l.tr.walk(p, int(l.seeds[l.cell(p)]))
+	if ti == walkStuck {
+		// Degenerate cycle: fall back to the exhaustive (and equally
+		// deterministic) scan.
+		return l.tr.Locate(p)
+	}
+	return ti
+}
+
+func (l *Locator) cell(p geom.Vec3) int {
+	cx := clampCell((p.X-l.box.Min.X)*l.inv.X, l.m)
+	cy := clampCell((p.Y-l.box.Min.Y)*l.inv.Y, l.m)
+	cz := clampCell((p.Z-l.box.Min.Z)*l.inv.Z, l.m)
+	return (cz*l.m+cy)*l.m + cx
+}
+
+func clampCell(v float64, m int) int {
+	c := int(v)
+	if c < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if c >= m {
+		return m - 1
+	}
+	return c
+}
+
+// walkStuck is returned by walk when the step cap is exceeded without
+// terminating, which is only possible on degenerate meshes.
+const walkStuck = -2
+
+// walk performs an orientation walk from tet start toward p. It returns
+// the index of a tet containing p (every face orientation >= -1e-12), -1
+// if the walk exits through a hull face, or walkStuck on a cycle.
+func (tr *Triangulation) walk(p geom.Vec3, start int) int {
+	ti := start
+	for steps := 0; steps <= 2*len(tr.Tets)+16; steps++ {
+		t := &tr.Tets[ti]
+		moved := false
+		for f := 0; f < 4; f++ {
+			fv := faceVerts(t.V, f)
+			if geom.Orient3DVal(tr.Points[fv[0]], tr.Points[fv[1]], tr.Points[fv[2]], p) < -1e-12 {
+				if t.Nb[f] < 0 {
+					return -1
+				}
+				ti = t.Nb[f]
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return ti
+		}
+	}
+	return walkStuck
+}

@@ -1,0 +1,57 @@
+package density
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/multistream"
+	"repro/internal/nbody"
+)
+
+// The DTFE field and the multistream classification are independent
+// estimators of the same dynamics; an evolved box must show single-stream
+// (void) regions at low density percentiles.
+func TestCrossCheckEvolvedBox(t *testing.T) {
+	const ng = 8
+	sim, err := nbody.New(nbody.DefaultConfig(ng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		sim.StepOnce()
+	}
+	L := sim.Config.BoxSize
+
+	cfg := periodicConfig(16, L)
+	res, err := Compute(cfg, sim.Pos, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := multistream.Compute(sim.Pos, ng, L, 2*ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Summarize().ThreePlus == 0 {
+		t.Skip("box not evolved enough to shell-cross; cross-check vacuous")
+	}
+
+	cc, err := CrossCheck(res, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.SingleCells == 0 || cc.MultiCells == 0 {
+		t.Fatalf("degenerate classification: %+v", cc)
+	}
+	if !cc.Consistent() {
+		t.Fatalf("estimators disagree: %+v (single-stream regions must read low density)", cc)
+	}
+}
+
+func TestCrossCheckBoxMismatch(t *testing.T) {
+	res := &Result{GridN: 4, Box: geom.NewBox(geom.V(1, 0, 0), geom.V(5, 4, 4)),
+		Grid: make([]float64, 64)}
+	ms := &multistream.Field{M: 4, BoxSize: 4, Streams: make([]int32, 64)}
+	if _, err := CrossCheck(res, ms); err == nil {
+		t.Fatal("box mismatch accepted")
+	}
+}

@@ -18,9 +18,21 @@ import (
 // Field is a DTFE density field over a tetrahedralized point set.
 type Field struct {
 	Tri *delaunay.Triangulation
-	// Density is the estimated density at each input point (zero for
-	// points that were merged away as duplicates).
+	// Density is the estimated density at each input point. Points merged
+	// away as duplicates carry their representative vertex's density (the
+	// representative's estimate in turn includes the duplicates' mass).
 	Density []float64
+}
+
+// Estimator retains the accumulator buffers of the density estimate so
+// warm in situ pipelines can re-estimate every snapshot without
+// reallocating. The zero value is ready to use. The Field returned by
+// Estimate aliases the Estimator's buffers and is valid until the next
+// Estimate on the same Estimator.
+type Estimator struct {
+	density []float64
+	starVol []float64
+	mass    []float64
 }
 
 // Estimate builds the DTFE field for the given points. masses may be nil
@@ -33,38 +45,108 @@ func Estimate(pts []geom.Vec3, masses []float64) (*Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	stars := tr.VertexStars()
-	density := make([]float64, len(pts))
-	for vi, star := range stars {
-		var vol float64
-		for _, ti := range star {
-			vol += tr.TetVolume(ti)
+	var e Estimator
+	return e.Estimate(tr, masses)
+}
+
+// Estimate computes the DTFE field over an existing triangulation, reusing
+// the Estimator's buffers. masses may be nil for unit-mass tracers.
+func (e *Estimator) Estimate(tr *delaunay.Triangulation, masses []float64) (*Field, error) {
+	n := len(tr.Points)
+	if masses != nil && len(masses) != n {
+		return nil, fmt.Errorf("dtfe: %d points but %d masses", n, len(masses))
+	}
+	e.density = resize(e.density, n)
+	e.starVol = resize(e.starVol, n)
+	e.mass = resize(e.mass, n)
+
+	// Star volumes in a single pass over the tets. Each vertex accumulates
+	// in ascending tet order, so the floating-point sums are deterministic.
+	for ti := range tr.Tets {
+		v := tr.TetVolume(ti)
+		for _, vi := range tr.Tets[ti].V {
+			e.starVol[vi] += v
 		}
-		if vol <= 0 {
-			continue
-		}
+	}
+
+	// Fold the mass of merged duplicates onto their representative vertex.
+	// A tracer dropped during triangulation still carries mass; losing it
+	// would break mass conservation (the integral of the field must equal
+	// the total tracer mass, see IntegratedMass).
+	for i := 0; i < n; i++ {
 		m := 1.0
 		if masses != nil {
-			m = masses[vi]
+			m = masses[i]
 		}
-		// (D+1) = 4 in three dimensions: each tet's volume is shared by
-		// its 4 vertices.
-		density[vi] = 4 * m / vol
+		e.mass[tr.Representative(i)] += m
 	}
-	return &Field{Tri: tr, Density: density}, nil
+
+	for i := 0; i < n; i++ {
+		if e.starVol[i] > 0 {
+			// (D+1) = 4 in three dimensions: each tet's volume is shared
+			// by its 4 vertices.
+			e.density[i] = 4 * e.mass[i] / e.starVol[i]
+		}
+	}
+	// Merged duplicates take their representative's density so downstream
+	// consumers of Density never see phantom zeros at coincident tracers.
+	for i := 0; i < n; i++ {
+		if r := tr.Representative(i); r != i {
+			e.density[i] = e.density[r]
+		}
+	}
+	return &Field{Tri: tr, Density: e.density}, nil
+}
+
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // ErrOutside is returned when a sample point lies outside the convex hull
 // of the tracers.
 var ErrOutside = errors.New("dtfe: point outside the triangulated region")
 
+// ErrDegenerate is returned when the containing tetrahedron has zero
+// volume, so barycentric interpolation is undefined. This is a numerical
+// failure of the triangulation — callers must not conflate it with
+// ErrOutside, which legitimately reads as empty space.
+var ErrDegenerate = errors.New("dtfe: degenerate containing tetrahedron")
+
 // DensityAt linearly interpolates the density at p within its containing
-// tetrahedron.
+// tetrahedron, using exhaustive point location. For bulk sampling build a
+// locator once and use SampleWith.
 func (f *Field) DensityAt(p geom.Vec3) (float64, error) {
 	ti := f.Tri.Locate(p)
 	if ti < 0 {
 		return 0, ErrOutside
 	}
+	return f.DensityInTet(ti, p)
+}
+
+// SampleWith interpolates the density at p, locating the containing tet
+// through loc (which must be built over f.Tri).
+func (f *Field) SampleWith(loc *delaunay.Locator, p geom.Vec3) (float64, error) {
+	ti := loc.Locate(p)
+	if ti < 0 {
+		return 0, ErrOutside
+	}
+	return f.DensityInTet(ti, p)
+}
+
+// NewLocator builds a point locator over the field's triangulation with an
+// automatically chosen seed resolution.
+func (f *Field) NewLocator() *delaunay.Locator {
+	return f.Tri.NewLocator(0)
+}
+
+// DensityInTet linearly interpolates the density at p inside tet ti via
+// barycentric coordinates.
+func (f *Field) DensityInTet(ti int, p geom.Vec3) (float64, error) {
 	t := f.Tri.Tets[ti]
 	a := f.Tri.Points[t.V[0]]
 	b := f.Tri.Points[t.V[1]]
@@ -73,7 +155,7 @@ func (f *Field) DensityAt(p geom.Vec3) (float64, error) {
 	// Barycentric coordinates via sub-tetrahedron volumes.
 	vTot := geom.Orient3DVal(a, b, c, d)
 	if vTot == 0 {
-		return 0, fmt.Errorf("dtfe: degenerate containing tetrahedron")
+		return 0, ErrDegenerate
 	}
 	w0 := geom.Orient3DVal(p, b, c, d) / vTot
 	w1 := geom.Orient3DVal(a, p, c, d) / vTot
@@ -83,10 +165,36 @@ func (f *Field) DensityAt(p geom.Vec3) (float64, error) {
 		w2*f.Density[t.V[2]] + w3*f.Density[t.V[3]], nil
 }
 
+// SampleStats counts the outcome of every sample in a grid evaluation.
+// Degenerate > 0 means the triangulation produced zero-volume containing
+// tets — a numerical failure, not empty space.
+type SampleStats struct {
+	Inside     int
+	Outside    int
+	Degenerate int
+}
+
+// Add accumulates o into s.
+func (s *SampleStats) Add(o SampleStats) {
+	s.Inside += o.Inside
+	s.Outside += o.Outside
+	s.Degenerate += o.Degenerate
+}
+
 // SampleGrid evaluates the field on an n^3 grid of cell centers spanning
-// box. Samples outside the convex hull are zero.
-func (f *Field) SampleGrid(n int, box geom.Box) []float64 {
-	out := make([]float64, n*n*n)
+// box. Samples outside the convex hull are zero and counted in
+// stats.Outside; degenerate-tet failures are zero but counted separately
+// in stats.Degenerate so a broken triangulation cannot masquerade as
+// empty space.
+func (f *Field) SampleGrid(n int, box geom.Box) ([]float64, SampleStats) {
+	return f.SampleGridInto(nil, n, box)
+}
+
+// SampleGridInto is SampleGrid reusing dst when it has capacity.
+func (f *Field) SampleGridInto(dst []float64, n int, box geom.Box) ([]float64, SampleStats) {
+	out := resize(dst, n*n*n)
+	loc := f.NewLocator()
+	var st SampleStats
 	size := box.Size()
 	for k := 0; k < n; k++ {
 		for j := 0; j < n; j++ {
@@ -96,11 +204,33 @@ func (f *Field) SampleGrid(n int, box geom.Box) []float64 {
 					Y: box.Min.Y + (float64(j)+0.5)*size.Y/float64(n),
 					Z: box.Min.Z + (float64(k)+0.5)*size.Z/float64(n),
 				}
-				if d, err := f.DensityAt(p); err == nil {
+				d, err := f.SampleWith(loc, p)
+				switch {
+				case err == nil:
 					out[(k*n+j)*n+i] = d
+					st.Inside++
+				case errors.Is(err, ErrOutside):
+					st.Outside++
+				default:
+					st.Degenerate++
 				}
 			}
 		}
 	}
-	return out
+	return out, st
+}
+
+// IntegratedMass integrates the interpolated field over the triangulated
+// hull. The field is linear on each tet, so the integral is exactly
+// sum_t V_t * mean(corner densities), which telescopes to
+// sum_i rho_i V(star_i)/4 = sum_i m_i: the estimator conserves mass, and
+// the conservation tests pin this identity against the tracer masses.
+func (f *Field) IntegratedMass() float64 {
+	var total float64
+	for ti, t := range f.Tri.Tets {
+		v := f.Tri.TetVolume(ti)
+		s := f.Density[t.V[0]] + f.Density[t.V[1]] + f.Density[t.V[2]] + f.Density[t.V[3]]
+		total += v * s / 4
+	}
+	return total
 }

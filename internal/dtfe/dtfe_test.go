@@ -178,9 +178,15 @@ func TestSampleGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grid := f.SampleGrid(8, geom.NewBox(geom.V(0, 0, 0), geom.V(4, 4, 4)))
+	grid, sst := f.SampleGrid(8, geom.NewBox(geom.V(0, 0, 0), geom.V(4, 4, 4)))
 	if len(grid) != 512 {
 		t.Fatalf("grid size %d", len(grid))
+	}
+	if sst.Degenerate != 0 {
+		t.Fatalf("%d degenerate samples on a healthy triangulation", sst.Degenerate)
+	}
+	if sst.Inside+sst.Outside != len(grid) {
+		t.Fatalf("stats don't add up: %+v", sst)
 	}
 	nonzero := 0
 	for _, d := range grid {

@@ -129,6 +129,42 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	return st, err
 }
 
+// DensityGrid fetches one step's full density grid (raw little-endian
+// float64, decodable with tess.DecodeDensityGrid) and the grid resolution
+// from the X-Density-Grid-N header.
+func (c *Client) DensityGrid(ctx context.Context, id string, step int) ([]byte, int, error) {
+	return c.fetchDensity(ctx, fmt.Sprintf("%s/v1/jobs/%s/density/%d", c.Base, id, step))
+}
+
+// DensitySlice fetches one z-plane (n*n values) of a step's density grid.
+func (c *Client) DensitySlice(ctx context.Context, id string, step, z int) ([]byte, int, error) {
+	return c.fetchDensity(ctx, fmt.Sprintf("%s/v1/jobs/%s/density/%d?z=%d", c.Base, id, step, z))
+}
+
+func (c *Client) fetchDensity(ctx context.Context, url string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, apiErrorFrom(resp)
+	}
+	n, err := strconv.Atoi(resp.Header.Get("X-Density-Grid-N"))
+	if err != nil {
+		return nil, 0, fmt.Errorf("jobd: bad X-Density-Grid-N header %q", resp.Header.Get("X-Density-Grid-N"))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, n, nil
+}
+
 // Events streams a job's NDJSON events from sequence from, calling fn for
 // each. It returns nil when the stream ends at the job's terminal event,
 // the context error on cancellation, or fn's error to stop early.

@@ -1,7 +1,9 @@
 package jobd
 
 import (
+	"crypto/sha256"
 	"encoding/base64"
+	"encoding/hex"
 	"fmt"
 
 	tess "repro"
@@ -24,6 +26,27 @@ func canonicalMeshB64(out *tess.Output, cfg tess.Config) (string, error) {
 		return "", fmt.Errorf("jobd: mesh encode: %w", err)
 	}
 	return base64.StdEncoding.EncodeToString(enc), nil
+}
+
+// densityDigest condenses one step's density result into the wire digest.
+// grid is the already-encoded (detached) grid whose SHA-256 anchors the
+// decomposition-independence check; every other field is a scalar copy, so
+// nothing here aliases the loaned Result.
+func densityDigest(res *tess.DensityResult, grid []byte) *DensityDigest {
+	sum := sha256.Sum256(grid)
+	return &DensityDigest{
+		GridN:        res.GridN,
+		Digest:       hex.EncodeToString(sum[:]),
+		Mean:         res.Stats.Mean,
+		Min:          res.Stats.Min,
+		Max:          res.Stats.Max,
+		VoidFrac:     res.Stats.VoidFrac,
+		GridMass:     res.Stats.GridMass,
+		TracerMass:   res.Stats.TracerMass,
+		Outside:      int64(res.Sample.Outside),
+		Degenerate:   int64(res.Sample.Degenerate),
+		SpectrumBins: len(res.Spectrum),
+	}
 }
 
 // obsDigest condenses a step's observability snapshot into the wire

@@ -9,6 +9,8 @@ package jobd_test
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"net/http"
 	"strings"
@@ -425,5 +427,112 @@ func TestE2EDocExample(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 202 {
 		t.Fatalf("doc example submit returned %d, want 202", resp.StatusCode)
+	}
+}
+
+// The density-job acceptance contract: grids served by the daemon are
+// byte-identical to a direct single-process ComputeDensity run of the same
+// snapshots, the step events carry matching digests, and the z-plane
+// endpoint serves exact sub-slices of the full grid.
+func TestE2EDensityJobByteIdentical(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	spec := happySpec(21, 2)
+	spec.Name = "density"
+	spec.Density = &jobd.DensitySpec{GridN: 16, Spectrum: true}
+
+	st := h.Submit(t, spec)
+	events, final := h.Wait(t, st.ID, e2eWait)
+	if final.State != jobd.StateDone || final.StepsDone != 2 {
+		t.Fatalf("final status = %+v, want done after 2 steps", final)
+	}
+
+	want := jobdtest.DirectDensityGrids(t, spec)
+	ctx := context.Background()
+	for _, e := range events {
+		if e.Type != "step" {
+			continue
+		}
+		if e.Density == nil {
+			t.Fatalf("step %d event has no density digest", e.Step)
+		}
+		if e.Density.GridN != 16 {
+			t.Errorf("step %d digest grid_n = %d, want 16", e.Step, e.Density.GridN)
+		}
+		if e.Density.SpectrumBins == 0 {
+			t.Errorf("step %d digest has no spectrum bins despite spectrum:true", e.Step)
+		}
+		if e.Density.Degenerate != 0 {
+			t.Errorf("step %d saw %d degenerate samples", e.Step, e.Density.Degenerate)
+		}
+		if d := e.Density.GridMass - e.Density.TracerMass; d > 0.2*e.Density.TracerMass || d < -0.2*e.Density.TracerMass {
+			t.Errorf("step %d grid mass %g far from tracer mass %g",
+				e.Step, e.Density.GridMass, e.Density.TracerMass)
+		}
+
+		grid, n, err := h.Client.DensityGrid(ctx, st.ID, e.Step)
+		if err != nil {
+			t.Fatalf("fetch density grid step %d: %v", e.Step, err)
+		}
+		if n != 16 {
+			t.Errorf("grid header n = %d, want 16", n)
+		}
+		if !bytes.Equal(grid, want[e.Step-1]) {
+			t.Errorf("step %d: daemon grid (%d bytes) differs from direct ComputeDensity (%d bytes)",
+				e.Step, len(grid), len(want[e.Step-1]))
+		}
+		sum := sha256.Sum256(grid)
+		if got := hex.EncodeToString(sum[:]); got != e.Density.Digest {
+			t.Errorf("step %d: served grid hashes to %s, digest says %s", e.Step, got, e.Density.Digest)
+		}
+
+		z := n / 2
+		slice, sn, err := h.Client.DensitySlice(ctx, st.ID, e.Step, z)
+		if err != nil {
+			t.Fatalf("fetch density slice step %d z=%d: %v", e.Step, z, err)
+		}
+		if sn != n {
+			t.Errorf("slice header n = %d, want %d", sn, n)
+		}
+		plane := n * n * 8
+		if !bytes.Equal(slice, grid[z*plane:(z+1)*plane]) {
+			t.Errorf("step %d z=%d: slice is not the matching sub-range of the full grid", e.Step, z)
+		}
+	}
+
+	// The grid outlives the job: a late fetch of step 1 still works, and
+	// out-of-range requests map to clean HTTP errors.
+	if _, _, err := h.Client.DensityGrid(ctx, st.ID, 1); err != nil {
+		t.Errorf("post-completion grid fetch failed: %v", err)
+	}
+	var apiErr *jobd.APIError
+	if _, _, err := h.Client.DensityGrid(ctx, st.ID, 99); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("missing step: err = %v, want 404", err)
+	}
+	if _, _, err := h.Client.DensitySlice(ctx, st.ID, 1, 999); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("bad z: err = %v, want 400", err)
+	}
+}
+
+// Density-spec validation surfaces as 400 at admission.
+func TestE2EDensitySpecValidation(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{Limits: jobd.Limits{MaxGridN: 32}})
+	ctx := context.Background()
+	var apiErr *jobd.APIError
+	for name, ds := range map[string]*jobd.DensitySpec{
+		"tiny grid":     {GridN: 1},
+		"over limit":    {GridN: 64},
+		"non-pow2 fft":  {GridN: 12, Spectrum: true},
+		"bad percentle": {GridN: 8, Percentiles: []float64{101}},
+	} {
+		spec := happySpec(30, 1)
+		spec.Density = ds
+		if _, err := h.Client.Submit(ctx, spec); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+			t.Errorf("%s: err = %v, want 400", name, err)
+		}
+	}
+	spec := happySpec(31, 1)
+	spec.Density = &jobd.DensitySpec{GridN: 12} // non-pow2 fine without spectrum
+	if _, err := h.Client.Submit(ctx, spec); err != nil {
+		t.Errorf("valid density spec rejected: %v", err)
 	}
 }

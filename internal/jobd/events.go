@@ -25,6 +25,9 @@ type Event struct {
 	MeshB64 string `json:"mesh_b64,omitempty"`
 	// Obs is the step's observability digest (include_obs).
 	Obs *ObsDigest `json:"obs,omitempty"`
+	// Density is the step's density-field digest (density jobs). The grid
+	// itself is fetched from /v1/jobs/{id}/density/{step}.
+	Density *DensityDigest `json:"density,omitempty"`
 
 	// Steps is the completed step total (type "done").
 	Steps int `json:"steps,omitempty"`
@@ -42,6 +45,26 @@ type ObsDigest struct {
 	ComputeImbalance float64            `json:"compute_imbalance"`
 	SentBytes        int64              `json:"sent_bytes"`
 	RecvdBytes       int64              `json:"recvd_bytes"`
+}
+
+// DensityDigest is the per-step density-field summary streamed in step
+// events. Digest is the SHA-256 of the grid's canonical little-endian
+// encoding — the value a client compares against a direct single-process
+// run to check decomposition independence without fetching the grid.
+type DensityDigest struct {
+	GridN      int     `json:"grid_n"`
+	Digest     string  `json:"digest"`
+	Mean       float64 `json:"mean"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+	VoidFrac   float64 `json:"void_frac"`
+	GridMass   float64 `json:"grid_mass"`
+	TracerMass float64 `json:"tracer_mass"`
+	Outside    int64   `json:"outside,omitempty"`
+	Degenerate int64   `json:"degenerate,omitempty"`
+	// SpectrumBins is the number of power-spectrum bins computed (0 when
+	// the spec did not request a spectrum).
+	SpectrumBins int `json:"spectrum_bins,omitempty"`
 }
 
 // eventLog is a job's append-only event sequence with broadcast tailing:

@@ -22,6 +22,13 @@ import (
 //	GET    /v1/jobs/{id}/events -> NDJSON Event stream (replay + live
 //	                               tail until the terminal event);
 //	                               ?from=N resumes at sequence N
+//	GET    /v1/jobs/{id}/density/{step}
+//	                            -> the step's density grid, raw
+//	                               little-endian float64
+//	                               (application/octet-stream,
+//	                               X-Density-Grid-N header); ?z=K serves
+//	                               one z-plane of N*N values | 404 until
+//	                               that step's density has completed
 
 // apiError is the JSON error body of every non-2xx response.
 type apiError struct {
@@ -59,7 +66,43 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/density/{step}", d.handleDensity)
 	return mux
+}
+
+// handleDensity serves one step's stored density grid, whole or as a
+// single z-plane (?z=K). Grids are retained per job until the daemon
+// forgets the job, so a client may fetch any completed step at any time —
+// including after the job finished.
+func (d *Daemon) handleDensity(w http.ResponseWriter, r *http.Request) {
+	j, err := d.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, d, err)
+		return
+	}
+	step, err := strconv.Atoi(r.PathValue("step"))
+	if err != nil || step < 1 {
+		writeError(w, d, badSpec("step %q, want a positive integer", r.PathValue("step")))
+		return
+	}
+	grid, n, ok := j.densityGrid(step)
+	if !ok {
+		writeError(w, d, fmt.Errorf("%w: no density grid for job %s step %d", ErrUnknownJob, j.ID(), step))
+		return
+	}
+	if zq := r.URL.Query().Get("z"); zq != "" {
+		z, err := strconv.Atoi(zq)
+		if err != nil || z < 0 || z >= n {
+			writeError(w, d, badSpec("z = %q outside [0, %d)", zq, n))
+			return
+		}
+		plane := n * n * 8
+		grid = grid[z*plane : (z+1)*plane]
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Density-Grid-N", strconv.Itoa(n))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(grid)
 }
 
 func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {

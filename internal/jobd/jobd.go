@@ -79,6 +79,7 @@ type Limits struct {
 	MaxBlocks    int // max blocks (= ranks) per job; 0 = unlimited
 	MaxSteps     int // max tessellation steps per job; 0 = unlimited
 	MaxParticles int // max particles per snapshot; 0 = unlimited
+	MaxGridN     int // max density sample-grid resolution; 0 = unlimited
 }
 
 // Config configures a Daemon.
@@ -203,6 +204,21 @@ type Job struct {
 	errInfo   *ErrorInfo
 	canceled  bool
 	sess      *tess.Session // non-nil while running; Abort target
+
+	// densityGrids holds each completed step's encoded density grid
+	// (density jobs only), indexed by 1-based step number. Entries are
+	// fresh copies — never aliases of the session's loaned Result.
+	densityGrids map[int][]byte
+	densityGridN int
+}
+
+// densityGrid returns the stored grid bytes of one step (1-based) and the
+// grid resolution, for the HTTP slice endpoint.
+func (j *Job) densityGrid(step int) ([]byte, int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b, ok := j.densityGrids[step]
+	return b, j.densityGridN, ok
 }
 
 // ID returns the daemon-assigned job ID.
@@ -602,6 +618,33 @@ func (d *Daemon) runJob(j *Job) {
 		}
 		if out.Obs != nil {
 			ev.Obs = obsDigest(out.Obs)
+		}
+		if ds := j.spec.Density; ds != nil {
+			res, err := sess.StepDensity(particles, ds.config())
+			if err != nil {
+				info := classifyError(err)
+				state := StateFailed
+				j.mu.Lock()
+				if j.canceled {
+					state = StateCanceled
+					info.Kind = "canceled"
+				}
+				j.mu.Unlock()
+				d.finishJob(j, state, info)
+				return
+			}
+			// EncodeDensityGrid allocates, so the stored bytes and the
+			// digest are detached from the loaned Result before the next
+			// StepDensity overwrites its grid.
+			grid := tess.EncodeDensityGrid(res.Grid)
+			ev.Density = densityDigest(res, grid)
+			j.mu.Lock()
+			if j.densityGrids == nil {
+				j.densityGrids = make(map[int][]byte, steps)
+			}
+			j.densityGrids[step] = grid
+			j.densityGridN = res.GridN
+			j.mu.Unlock()
 		}
 		j.mu.Lock()
 		j.stepsDone = step

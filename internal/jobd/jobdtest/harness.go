@@ -98,6 +98,44 @@ func StepMeshes(t testing.TB, events []jobd.Event) [][]byte {
 	return out
 }
 
+// DirectDensityGrids runs the spec's density pipeline directly — no
+// daemon, no session — and returns each step's encoded grid. The config
+// mirrors what a job's session applies to a zero-Box density config:
+// the periodic [0, L)^3 domain with the ghost size as padding depth.
+// This is the byte-identity oracle for daemon-served density grids.
+func DirectDensityGrids(t testing.TB, spec jobd.JobSpec) [][]byte {
+	t.Helper()
+	if spec.Density == nil {
+		t.Fatal("jobdtest: spec has no density section")
+	}
+	ghost := spec.Ghost
+	if ghost <= 0 {
+		ghost = tess.NewPeriodicConfig(spec.L).GhostSize
+	}
+	dc := tess.DensityConfig{
+		GridN:         spec.Density.GridN,
+		Box:           tess.Box{Max: tess.Vec3{X: spec.L, Y: spec.L, Z: spec.L}},
+		Periodic:      true,
+		Pad:           ghost,
+		Spectrum:      spec.Density.Spectrum,
+		VoidThreshold: spec.Density.VoidThreshold,
+		Percentiles:   spec.Density.Percentiles,
+	}
+	var out [][]byte
+	for i, snap := range spec.Snapshots {
+		pts := make([]tess.Vec3, len(snap))
+		for j, p := range snap {
+			pts[j] = tess.Vec3{X: p[0], Y: p[1], Z: p[2]}
+		}
+		res, err := tess.ComputeDensity(dc, pts, nil)
+		if err != nil {
+			t.Fatalf("jobdtest: direct density step %d: %v", i+1, err)
+		}
+		out = append(out, tess.EncodeDensityGrid(res.Grid))
+	}
+	return out
+}
+
 // Terminal returns the stream's terminal event and fails if there is not
 // exactly one, at the end.
 func Terminal(t testing.TB, events []jobd.Event) jobd.Event {

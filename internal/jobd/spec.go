@@ -47,6 +47,12 @@ type JobSpec struct {
 	// simulation instead (mutually exclusive with Snapshots).
 	Sim *SimSpec `json:"sim,omitempty"`
 
+	// Density attaches the streaming density pipeline to the job: after
+	// every tessellation step the session also runs StepDensity over the
+	// same snapshot, the step event carries a DensityDigest, and the full
+	// grid (or one z-plane) is served at /v1/jobs/{id}/density/{step}.
+	Density *DensitySpec `json:"density,omitempty"`
+
 	// Fault arms the deterministic fault-injection plan for this job —
 	// the chaos-testing surface: a tenant may carry its own crash or delay
 	// schedule, and the daemon must contain it.
@@ -68,6 +74,34 @@ type SimSpec struct {
 	NG    int `json:"ng"`
 	Steps int `json:"steps"`
 	Every int `json:"every,omitempty"`
+}
+
+// DensitySpec is the JSON form of the per-job density-pipeline config.
+// The grid box is always the job's periodic domain; padding depth follows
+// the session's ghost size.
+type DensitySpec struct {
+	// GridN is the sample-grid resolution per axis (>= 2).
+	GridN int `json:"grid_n"`
+	// Spectrum additionally computes the power spectrum each step
+	// (requires a power-of-two GridN).
+	Spectrum bool `json:"spectrum,omitempty"`
+	// VoidThreshold overrides the void density cut (fraction of the mean;
+	// 0 = default).
+	VoidThreshold float64 `json:"void_threshold,omitempty"`
+	// Percentiles overrides the reported density percentiles (empty =
+	// default set).
+	Percentiles []float64 `json:"percentiles,omitempty"`
+}
+
+// config builds the engine density config; the zero Box defers domain,
+// periodicity, and padding to the session.
+func (ds *DensitySpec) config() tess.DensityConfig {
+	return tess.DensityConfig{
+		GridN:         ds.GridN,
+		Spectrum:      ds.Spectrum,
+		VoidThreshold: ds.VoidThreshold,
+		Percentiles:   ds.Percentiles,
+	}
 }
 
 // FaultSpec is the JSON form of tess.FaultPlan (durations in
@@ -158,6 +192,22 @@ func (s *JobSpec) Validate(limits Limits) error {
 	}
 	if limits.MaxParticles > 0 && nmax > limits.MaxParticles {
 		return badSpec("%d particles exceeds the daemon's limit of %d", nmax, limits.MaxParticles)
+	}
+	if ds := s.Density; ds != nil {
+		if ds.GridN < 2 {
+			return badSpec("density.grid_n = %d, want >= 2", ds.GridN)
+		}
+		if limits.MaxGridN > 0 && ds.GridN > limits.MaxGridN {
+			return badSpec("density.grid_n = %d exceeds the daemon's limit of %d", ds.GridN, limits.MaxGridN)
+		}
+		if ds.Spectrum && ds.GridN&(ds.GridN-1) != 0 {
+			return badSpec("density.grid_n = %d must be a power of two when spectrum is set", ds.GridN)
+		}
+		for _, p := range ds.Percentiles {
+			if !(p >= 0 && p <= 100) { // also rejects NaN
+				return badSpec("density percentile %g outside [0, 100]", p)
+			}
+		}
 	}
 	if f := s.Fault; f != nil {
 		if f.CrashStep > 0 && (f.CrashRank < 0 || f.CrashRank >= s.Blocks) {

@@ -49,15 +49,26 @@ const (
 	PhaseOutput
 	// PhaseBarrier aggregates time spent waiting in barriers.
 	PhaseBarrier
+	// PhaseTriangulate is the Delaunay build of the density pipeline.
+	PhaseTriangulate
+	// PhaseInterpolate is the DTFE grid interpolation of the density
+	// pipeline (one span per rank slab).
+	PhaseInterpolate
+	// PhaseSpectrum is the power-spectrum / statistics reduction of the
+	// density pipeline.
+	PhaseSpectrum
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
-	PhaseExchange:   "exchange",
-	PhaseGhostMerge: "ghost-merge",
-	PhaseCompute:    "compute",
-	PhaseOutput:     "output",
-	PhaseBarrier:    "barrier",
+	PhaseExchange:    "exchange",
+	PhaseGhostMerge:  "ghost-merge",
+	PhaseCompute:     "compute",
+	PhaseOutput:      "output",
+	PhaseBarrier:     "barrier",
+	PhaseTriangulate: "triangulate",
+	PhaseInterpolate: "interpolate",
+	PhaseSpectrum:    "spectrum",
 }
 
 // String returns the phase name used in traces and reports.
@@ -304,6 +315,10 @@ type PhaseBreakdown struct {
 	Compute    time.Duration
 	Output     time.Duration
 	Barrier    time.Duration
+	// Density-pipeline phases (zero on tessellation-only steps).
+	Triangulate time.Duration
+	Interpolate time.Duration
+	Spectrum    time.Duration
 }
 
 // Get returns the component for a phase.
@@ -319,6 +334,12 @@ func (b PhaseBreakdown) Get(p Phase) time.Duration {
 		return b.Output
 	case PhaseBarrier:
 		return b.Barrier
+	case PhaseTriangulate:
+		return b.Triangulate
+	case PhaseInterpolate:
+		return b.Interpolate
+	case PhaseSpectrum:
+		return b.Spectrum
 	}
 	return 0
 }
@@ -385,11 +406,14 @@ func (r *Recorder) Snapshot() *Snapshot {
 		m := RankMetrics{
 			Rank: i,
 			Phase: PhaseBreakdown{
-				Exchange:   s.phaseTotal[PhaseExchange],
-				GhostMerge: s.phaseTotal[PhaseGhostMerge],
-				Compute:    s.phaseTotal[PhaseCompute],
-				Output:     s.phaseTotal[PhaseOutput],
-				Barrier:    s.phaseTotal[PhaseBarrier],
+				Exchange:    s.phaseTotal[PhaseExchange],
+				GhostMerge:  s.phaseTotal[PhaseGhostMerge],
+				Compute:     s.phaseTotal[PhaseCompute],
+				Output:      s.phaseTotal[PhaseOutput],
+				Barrier:     s.phaseTotal[PhaseBarrier],
+				Triangulate: s.phaseTotal[PhaseTriangulate],
+				Interpolate: s.phaseTotal[PhaseInterpolate],
+				Spectrum:    s.phaseTotal[PhaseSpectrum],
 			},
 			BarrierWait:     s.barrierWait,
 			Collectives:     s.collectives,

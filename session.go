@@ -56,6 +56,23 @@ func (s *Session) StepTo(particles []Particle, outputPath string) (*Output, erro
 	return s.s.StepPath(particles, outputPath)
 }
 
+// StepDensity runs the streaming density pipeline over one snapshot's
+// particles through the session's ranks: triangulate (rank 0),
+// interpolate (grid slabs spread across ranks and their worker shares),
+// then the statistics/spectrum reduction — each phase recorded under the
+// session's Recorder ("triangulate"/"interpolate"/"spectrum"). The grid
+// bytes are identical to ComputeDensity on the same particles for any
+// block/worker count. The Result is loaned until the next StepDensity;
+// Clone it to keep it.
+//
+//tess:loaned
+func (s *Session) StepDensity(particles []Particle, dc DensityConfig) (*DensityResult, error) {
+	return s.s.StepDensity(particles, dc)
+}
+
+// DensitySteps returns the number of completed density-pipeline steps.
+func (s *Session) DensitySteps() int { return s.s.DensitySteps() }
+
 // Close releases the session. The last Step's Output stays readable
 // (nothing will overwrite it any more), but no further Step may run.
 func (s *Session) Close() error { return s.s.Close() }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/density"
 	"repro/internal/diy"
 	"repro/internal/faultinject"
 	"repro/internal/geom"
@@ -266,12 +267,45 @@ type Phase = obs.Phase
 // Pipeline phases, usable with ObsSnapshot.PhaseTotal / SlowestRank /
 // Imbalance.
 const (
-	PhaseExchange   = obs.PhaseExchange
-	PhaseGhostMerge = obs.PhaseGhostMerge
-	PhaseCompute    = obs.PhaseCompute
-	PhaseOutput     = obs.PhaseOutput
-	PhaseBarrier    = obs.PhaseBarrier
+	PhaseExchange    = obs.PhaseExchange
+	PhaseGhostMerge  = obs.PhaseGhostMerge
+	PhaseCompute     = obs.PhaseCompute
+	PhaseOutput      = obs.PhaseOutput
+	PhaseBarrier     = obs.PhaseBarrier
+	PhaseTriangulate = obs.PhaseTriangulate
+	PhaseInterpolate = obs.PhaseInterpolate
+	PhaseSpectrum    = obs.PhaseSpectrum
 )
+
+// DensityConfig configures the streaming density pipeline (DTFE
+// interpolation onto a sample grid plus spectrum/void statistics); see
+// Session.StepDensity. A zero Box inherits the session's domain.
+type DensityConfig = density.Config
+
+// DensityResult is one snapshot's density-pipeline output. When returned
+// by StepDensity its Grid is loaned until the next step; Clone detaches
+// it.
+type DensityResult = density.Result
+
+// DensityStats summarizes a sampled density grid (mean, percentiles, void
+// fraction, and the grid-vs-tracer mass-conservation diagnostic).
+type DensityStats = density.Stats
+
+// SpectrumBin is one radial bin of a density power spectrum.
+type SpectrumBin = density.SpectrumBin
+
+// EncodeDensityGrid serializes a density grid as little-endian float64s,
+// the wire format of the daemon's grid-slice endpoint.
+func EncodeDensityGrid(grid []float64) []byte { return density.EncodeGrid(grid) }
+
+// DecodeDensityGrid parses a grid encoded by EncodeDensityGrid.
+func DecodeDensityGrid(b []byte) ([]float64, error) { return density.DecodeGrid(b) }
+
+// ComputeDensity runs the density pipeline once, outside any session —
+// the direct single-process oracle daemon grids are compared against.
+func ComputeDensity(cfg DensityConfig, pts []Vec3, masses []float64) (*DensityResult, error) {
+	return density.Compute(cfg, pts, masses)
+}
 
 // BlockMesh is the per-block analysis data model (vertices, connectivity,
 // per-cell volumes and areas).
