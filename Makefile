@@ -12,7 +12,7 @@ GO ?= go
 # than letting CI sit for the default 10 minutes.
 TEST_TIMEOUT ?= 4m
 
-.PHONY: build test vet lint race cover faults jobd-e2e check bench bench-insitu bench-balance bench-density
+.PHONY: build test vet lint race cover faults ckpt jobd-e2e check bench bench-insitu bench-balance bench-density bench-oocore
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,11 @@ race:
 # itself, the comm layer that feeds its counters, the ghost exchange
 # whose conservation laws the counters are tested against, the
 # multi-tenant daemon whose admission/cancel/containment paths the e2e
-# suite drives, and the density pipeline whose byte-identity and
-# mass-conservation oracles gate the density job kind.
-COVER_PKGS  = ./internal/obs ./internal/comm ./internal/diy ./internal/jobd ./internal/density
+# suite drives, the density pipeline whose byte-identity and
+# mass-conservation oracles gate the density job kind, and the storage
+# layer (snapshot sources + checkpoint commit protocol) the
+# out-of-core/resume paths stand on.
+COVER_PKGS  = ./internal/obs ./internal/comm ./internal/diy ./internal/jobd ./internal/density ./internal/storage
 COVER_FLOOR = 70
 
 cover:
@@ -63,7 +65,13 @@ faults:
 jobd-e2e:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestE2E' ./internal/jobd/...
 
-check: vet lint race cover faults jobd-e2e
+# Checkpoint/restart acceptance: crash-at-step-N byte-identical resume
+# across block and worker counts, plus the out-of-core FileSource
+# identity gate, under the race detector.
+ckpt:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'CrashResume|CheckpointResume|ResumeValidation|StepFromFileSource' .
+
+check: vet lint race cover faults ckpt jobd-e2e
 
 # Headline perf benches: worker-pool scaling and allocation counts.
 bench:
@@ -84,3 +92,9 @@ bench-balance:
 # BENCH_density.json.
 bench-density:
 	$(GO) run ./cmd/tessbench -density -density-json BENCH_density.json
+
+# Out-of-core streaming benchmark: inline stepping vs windowed FileSource
+# streaming (all/half/quarter resident windows), byte-identity verified
+# before timing; writes BENCH_oocore.json.
+bench-oocore:
+	$(GO) run ./cmd/tessbench -oocore -oocore-json BENCH_oocore.json

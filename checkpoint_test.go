@@ -1,0 +1,269 @@
+package tess
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// canonicalBytes reduces a step's output to the decomposition-independent
+// oracle: the canonical merged mesh's encoding.
+func canonicalBytes(t *testing.T, out *Output, cfg Config) []byte {
+	t.Helper()
+	m, err := MergeCanonical(out.Meshes, cfg.Domain, cfg.Periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCrashResumeByteIdentity is the checkpoint/restart acceptance
+// gate: a session auto-checkpointing every step is crashed by fault
+// injection at step 3's compute phase, resumed from the on-disk
+// checkpoint, and driven to the end — and every post-resume step's
+// canonical merged mesh is byte-identical to the uninterrupted
+// baseline's, across block and worker counts.
+func TestCrashResumeByteIdentity(t *testing.T) {
+	const steps = 4
+	const crashAt = 3
+	for _, blocks := range []int{2, 8} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("blocks=%d/workers=%d", blocks, workers), func(t *testing.T) {
+				cfg := NewPeriodicConfig(8, WithGhostSize(3), WithWorkers(workers))
+
+				// Uninterrupted baseline.
+				base, err := Open(cfg, blocks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer base.Close()
+				want := make([][]byte, steps+1)
+				for s := 1; s <= steps; s++ {
+					out, err := base.Step(testParticles(300+int64(s), 8, 8))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want[s] = canonicalBytes(t, out, cfg)
+				}
+
+				// Checkpointing run, crashed at step crashAt. Fault
+				// checkpoints accumulate 4 per session step; "compute" is
+				// the 2nd checkpoint of a step.
+				dir := filepath.Join(t.TempDir(), "ck")
+				crashCfg := cfg
+				crashCfg.CheckpointDir = dir
+				crashCfg.StallTimeout = 10 * time.Second
+				crashCfg.Faults = &FaultPlan{Seed: 5, CrashRank: 0, CrashStep: (crashAt-1)*4 + 2}
+				victim, err := Open(crashCfg, blocks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer victim.Close()
+				for s := 1; s < crashAt; s++ {
+					if _, err := victim.Step(testParticles(300+int64(s), 8, 8), WithCheckpointEvery(1)); err != nil {
+						t.Fatalf("pre-crash step %d: %v", s, err)
+					}
+				}
+				if _, err := victim.Step(testParticles(300+crashAt, 8, 8), WithCheckpointEvery(1)); err == nil {
+					t.Fatal("step survived the injected crash")
+				}
+				if !HasCheckpoint(dir) {
+					t.Fatal("no committed checkpoint after the crash")
+				}
+
+				// Resume and replay the remaining steps (fresh config, no
+				// fault plan — the operator restarting the host process).
+				resumeCfg := cfg
+				resumeCfg.CheckpointDir = dir
+				res, err := Resume(resumeCfg, dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer res.Close()
+				if res.Steps() != crashAt-1 {
+					t.Fatalf("resumed at step %d, want %d", res.Steps(), crashAt-1)
+				}
+				for s := crashAt; s <= steps; s++ {
+					out, err := res.Step(testParticles(300+int64(s), 8, 8), WithCheckpointEvery(1))
+					if err != nil {
+						t.Fatalf("post-resume step %d: %v", s, err)
+					}
+					if got := canonicalBytes(t, out, cfg); !bytes.Equal(got, want[s]) {
+						t.Fatalf("step %d canonical mesh differs after resume", s)
+					}
+				}
+				if res.Steps() != steps {
+					t.Errorf("Steps() = %d after replay, want %d", res.Steps(), steps)
+				}
+			})
+		}
+	}
+}
+
+// TestExplicitCheckpointResume covers the manual Checkpoint call (no
+// fault injection, no auto-checkpoint): warm/cold counters and the step
+// count survive the round trip.
+func TestExplicitCheckpointResume(t *testing.T) {
+	cfg := NewPeriodicConfig(8, WithGhostSize(3))
+	sess, err := Open(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	dir := filepath.Join(t.TempDir(), "ck")
+	if err := sess.Checkpoint(dir); err == nil {
+		t.Fatal("checkpoint before the first step accepted")
+	}
+	for s := 1; s <= 2; s++ {
+		if _, err := sess.Step(testParticles(400+int64(s), 8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm, cold := sess.WarmStats()
+
+	res, err := Resume(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Steps() != 2 {
+		t.Fatalf("resumed Steps() = %d, want 2", res.Steps())
+	}
+	if w, c := res.WarmStats(); w != warm || c != cold {
+		t.Errorf("warm/cold %d/%d after resume, want %d/%d", w, c, warm, cold)
+	}
+	out, err := res.Step(testParticles(403, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Step(testParticles(403, 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonicalBytes(t, out, cfg), canonicalBytes(t, want, cfg)) {
+		t.Error("step 3 diverges between resumed and original session")
+	}
+}
+
+// TestResumeValidation: a checkpoint must not silently resume under a
+// config that would have produced different output.
+func TestResumeValidation(t *testing.T) {
+	cfg := NewPeriodicConfig(8, WithGhostSize(3))
+	sess, err := Open(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Step(testParticles(420, 8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ck")
+	if err := sess.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Resume(NewPeriodicConfig(8, WithGhostSize(4)), dir); err == nil {
+		t.Error("ghost-size mismatch accepted")
+	}
+	if _, err := Resume(NewPeriodicConfig(10, WithGhostSize(3)), dir); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	if _, err := Resume(NewPeriodicConfig(8, WithGhostSize(3), WithDecomposition(DecomposeRCB)), dir); err == nil {
+		t.Error("decomposition-kind mismatch accepted")
+	}
+	if _, err := Resume(cfg, filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing checkpoint dir accepted")
+	}
+
+	// Auto-checkpointing needs a configured directory.
+	plain, err := Open(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.Step(testParticles(421, 8, 8), WithCheckpointEvery(1)); err == nil ||
+		!strings.Contains(err.Error(), "CheckpointDir") {
+		t.Errorf("WithCheckpointEvery without a checkpoint dir: %v", err)
+	}
+}
+
+// TestStepFromFileSourceMatchesInline is the out-of-core acceptance
+// gate: a quarter-window FileSource produces per-block bytes identical
+// to the inline path while its accounting proves the full particle set
+// was never staged at once.
+func TestStepFromFileSourceMatchesInline(t *testing.T) {
+	ps := testParticles(430, 10, 8) // 1000 particles
+	const chunks = 8
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := WriteSnapshot(path, ps, chunks); err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewPeriodicConfig(8, WithGhostSize(3))
+
+	inline, err := Open(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inline.Close()
+	want, err := inline.Step(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := OpenFileSource(path, chunks/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	streamed, err := Open(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamed.Close()
+	got, err := streamed.StepFrom(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Counts != want.Counts {
+		t.Fatalf("counts %+v, want %+v", got.Counts, want.Counts)
+	}
+	for r := range want.Meshes {
+		gb, err := got.Meshes[r].Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := want.Meshes[r].Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("block %d differs between FileSource and inline step", r)
+		}
+	}
+
+	st := src.Stats()
+	if st.TotalParticles != len(ps) {
+		t.Fatalf("TotalParticles = %d, want %d", st.TotalParticles, len(ps))
+	}
+	if st.PeakResidentParticles >= st.TotalParticles {
+		t.Errorf("peak resident %d of %d particles — the window never evicted",
+			st.PeakResidentParticles, st.TotalParticles)
+	}
+	if st.PeakResidentChunks > chunks/4 {
+		t.Errorf("peak resident chunks %d exceeds window %d", st.PeakResidentChunks, chunks/4)
+	}
+	if st.Loads != chunks {
+		t.Errorf("Loads = %d, want %d", st.Loads, chunks)
+	}
+}

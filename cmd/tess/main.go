@@ -11,6 +11,13 @@
 //	tess [-n 8] [-box 8] [-blocks 2] [-workers 0] [-seed 1] [-amp 0.6]
 //	     [-ghost 3] [-o mesh.bin] [-trace out.json] [-canonical merged.bin]
 //	     [-density 0] [-spectrum] [-density-o grid.bin]
+//	     [-snapshot snap.bin [-window 4]] [-write-snapshot snap.bin [-chunks 16]]
+//
+// With -write-snapshot the generated lattice is written as a chunked
+// snapshot file and the run stops there; with -snapshot the particles
+// stream out-of-core from such a file through a bounded resident window
+// (-window chunks at a time) instead of being generated in memory —
+// output is byte-identical to the inline run over the same particles.
 //
 // With -density N the run additionally pushes the snapshot through the
 // streaming density pipeline (DTFE interpolation onto an N^3 sample grid
@@ -55,6 +62,10 @@ func run(args []string, w io.Writer) error {
 		densityN  = fs.Int("density", 0, "density sample-grid resolution (0 = skip the density pipeline)")
 		spectrum  = fs.Bool("spectrum", false, "with -density, also compute the power spectrum")
 		densityO  = fs.String("density-o", "", "with -density, write the raw grid to this file")
+		snapshot  = fs.String("snapshot", "", "stream particles out-of-core from this chunked snapshot file (see -write-snapshot) instead of generating a lattice")
+		window    = fs.Int("window", 0, "with -snapshot, max chunks staged in memory at once (0 = unbounded)")
+		writeSnap = fs.String("write-snapshot", "", "write the generated lattice to this chunked snapshot file and exit")
+		chunks    = fs.Int("chunks", 16, "with -write-snapshot, number of chunks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,8 +73,24 @@ func run(args []string, w io.Writer) error {
 	if *n <= 0 || *blocks <= 0 || *box <= 0 {
 		return fmt.Errorf("-n, -blocks, and -box must be positive")
 	}
+	if *snapshot != "" && *densityN > 0 {
+		return fmt.Errorf("-density needs the inline particle set; it cannot stream from -snapshot")
+	}
 
-	ps := latticeParticles(*n, *box, *amp, *seed)
+	var ps []tess.Particle
+	if *snapshot == "" {
+		ps = latticeParticles(*n, *box, *amp, *seed)
+	}
+	if *writeSnap != "" {
+		if ps == nil {
+			return fmt.Errorf("-write-snapshot generates a lattice; drop -snapshot")
+		}
+		if err := tess.WriteSnapshot(*writeSnap, ps, *chunks); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "snapshot: wrote %s (%d particles, %d chunks)\n", *writeSnap, len(ps), *chunks)
+		return nil
+	}
 	cfg := tess.NewPeriodicConfig(*box)
 	cfg.GhostSize = *ghost
 	cfg.HullPass = false
@@ -79,12 +106,37 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-decomp must be grid or rcb, got %q", *decomp)
 	}
 
-	out, err := tess.Tessellate(cfg, ps, *blocks)
-	if err != nil {
-		return err
+	var out *tess.Output
+	nparticles := len(ps)
+	if *snapshot != "" {
+		// Out-of-core: one streamed step through a session, the same code
+		// path Run takes, with the file source's window bounding staging.
+		src, err := tess.OpenFileSource(*snapshot, *window)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		sess, err := tess.Open(cfg, *blocks)
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		if out, err = sess.StepFrom(src); err != nil {
+			return err
+		}
+		st := src.Stats()
+		nparticles = st.TotalParticles
+		fmt.Fprintf(w, "source: %s  %d chunks  loads %d  evictions %d  peak resident %d chunks / %d particles\n",
+			*snapshot, src.Chunks(), st.Loads, st.Evictions,
+			st.PeakResidentChunks, st.PeakResidentParticles)
+	} else {
+		var err error
+		if out, err = tess.Run(cfg, ps, *blocks); err != nil {
+			return err
+		}
 	}
 
-	fmt.Fprintf(w, "particles %d  blocks %d  ghost %g\n", len(ps), *blocks, *ghost)
+	fmt.Fprintf(w, "particles %d  blocks %d  ghost %g\n", nparticles, *blocks, *ghost)
 	fmt.Fprintf(w, "cells: kept %d  incomplete %d  culled %d\n",
 		out.Counts.Kept, out.Counts.Incomplete, out.Counts.CulledEarly+out.Counts.CulledExact)
 	fmt.Fprintf(w, "timing: exchange %v  compute %v  output %v  total %v\n",

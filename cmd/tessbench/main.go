@@ -17,6 +17,7 @@
 //	tessbench -insitu [-insitu-json FILE]
 //	tessbench -balance [-balance-json FILE]
 //	tessbench -density [-density-json FILE]
+//	tessbench -oocore [-oocore-json FILE]
 //
 // The -insitu mode benchmarks the persistent-session API: the steady-state
 // per-step cost of repeated tessellation through one Session (warm) against
@@ -30,6 +31,14 @@
 // a sample grid plus power spectrum): cold one-shot Compute per snapshot
 // against a warm Session.StepDensity, after verifying both produce
 // byte-identical grids.
+//
+// The -oocore mode benchmarks out-of-core snapshot streaming: a session
+// stepped from a chunked snapshot file through bounded resident windows
+// (all, half, a quarter of the chunks) against the inline baseline, after
+// verifying every window's per-block output is byte-identical to the
+// inline step. The source accounting (loads, evictions, peak resident
+// particles) quantifies the staging memory each window trades for
+// re-reads.
 //
 // The -faults mode runs the graceful-degradation battery instead of the
 // performance tables: seeded crash-at-step-N plans across 2- and 8-block
@@ -78,6 +87,8 @@ func main() {
 		balanceOut = flag.String("balance-json", "", "write the -balance comparison to this JSON file")
 		densityB   = flag.Bool("density", false, "benchmark cold (Compute per snapshot) vs warm (Session.StepDensity) density pipelines instead of the performance tables")
 		densityOut = flag.String("density-json", "", "write the -density comparison to this JSON file")
+		oocore     = flag.Bool("oocore", false, "benchmark inline stepping vs out-of-core streaming from a chunked snapshot file across resident-window sizes instead of the performance tables")
+		oocoreOut  = flag.String("oocore-json", "", "write the -oocore comparison to this JSON file")
 	)
 	flag.Parse()
 
@@ -97,6 +108,10 @@ func main() {
 	}
 	if *densityB {
 		runDensityBench(*densityOut)
+		return
+	}
+	if *oocore {
+		runOocoreBench(*oocoreOut)
 		return
 	}
 

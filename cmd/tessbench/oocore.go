@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// The -oocore mode measures the out-of-core snapshot streaming path: a
+// session stepped from a chunked on-disk snapshot through FileSources
+// with progressively tighter resident windows (all chunks, half, a
+// quarter), against the inline baseline that stages the whole particle
+// set in memory. Per-block outputs are verified byte-identical to the
+// inline step before anything is timed; the source accounting (loads,
+// evictions, peak resident chunks/particles) quantifies the staging
+// memory the window trades against re-reads.
+
+// oocoreWindow is one row of the window sweep.
+type oocoreWindow struct {
+	// WindowChunks is the resident-chunk bound (0 = unbounded).
+	WindowChunks int             `json:"window_chunks"`
+	Bench        insituBenchSide `json:"bench"`
+	// Source accounting for exactly one step from a cold source.
+	LoadsPerStep     int `json:"loads_per_step"`
+	EvictionsPerStep int `json:"evictions_per_step"`
+	PeakChunks       int `json:"peak_resident_chunks"`
+	PeakParticles    int `json:"peak_resident_particles"`
+	// StagingPeakBytes is the peak staged particle memory
+	// (PeakParticles x 32 bytes on the wire-equivalent in-memory record).
+	StagingPeakBytes int64 `json:"staging_peak_bytes"`
+	// HeapAfterStep is runtime HeapAlloc after the verify step and a GC:
+	// session working set plus the resident window.
+	HeapAfterStep uint64 `json:"heap_after_step_bytes"`
+}
+
+// oocoreBenchResult is the BENCH_oocore.json document.
+type oocoreBenchResult struct {
+	Particles     int             `json:"particles"`
+	Blocks        int             `json:"blocks"`
+	Workers       int             `json:"workers"`
+	Chunks        int             `json:"chunks"`
+	SnapshotBytes int64           `json:"snapshot_bytes"`
+	Inline        insituBenchSide `json:"inline"`
+	Windows       []oocoreWindow  `json:"windows"`
+}
+
+func runOocoreBench(jsonPath string) {
+	const (
+		n       = 8000
+		L       = 16.0
+		blocks  = 4
+		workers = 2
+		chunks  = 16
+	)
+	// Clustered input: the interesting regime for out-of-core runs is a
+	// halo-dominated snapshot, not a uniform lattice.
+	ps := clusteredBenchParticles(n, L, 77)
+
+	dir, err := os.MkdirTemp("", "oocore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "snap.bin")
+	if err := storage.WriteSnapshot(path, ps, chunks); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	domain := geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L))
+	cfg := core.Config{
+		Domain:    domain,
+		Periodic:  true,
+		GhostSize: ghostFor(domain, blocks),
+		Workers:   workers,
+	}
+
+	// Inline baseline and the byte-identity gate's per-block reference.
+	inlineSess, err := core.OpenSession(cfg, blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inlineSess.Close()
+	ref, err := inlineSess.Step(ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := make([][]byte, len(ref.Meshes))
+	for r, m := range ref.Meshes {
+		if want[r], err = m.Encode(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	inline := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := inlineSess.Step(ps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	res := oocoreBenchResult{
+		Particles:     n,
+		Blocks:        blocks,
+		Workers:       workers,
+		Chunks:        chunks,
+		SnapshotBytes: fi.Size(),
+		Inline:        benchSide(inline),
+	}
+
+	for _, window := range []int{0, chunks / 2, chunks / 4} {
+		src, err := storage.OpenFileSource(path, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err := core.OpenSession(cfg, blocks)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// One cold step: correctness gate plus the accounting snapshot.
+		out, err := sess.StepSource(src, core.StepOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for r, m := range out.Meshes {
+			got, err := m.Encode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !bytes.Equal(got, want[r]) {
+				log.Fatalf("window %d: block %d differs from the inline step", window, r)
+			}
+		}
+		st := src.Stats()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+
+		bench := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.StepSource(src, core.StepOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.Windows = append(res.Windows, oocoreWindow{
+			WindowChunks:     window,
+			Bench:            benchSide(bench),
+			LoadsPerStep:     st.Loads,
+			EvictionsPerStep: st.Evictions,
+			PeakChunks:       st.PeakResidentChunks,
+			PeakParticles:    st.PeakResidentParticles,
+			StagingPeakBytes: int64(st.PeakResidentParticles) * 32,
+			HeapAfterStep:    ms.HeapAlloc,
+		})
+		sess.Close()
+		src.Close()
+	}
+
+	fmt.Println("OUT-OF-CORE STREAMING: inline slice vs windowed FileSource")
+	fmt.Printf("%d clustered particles, %d blocks, %d workers/block, %d-chunk snapshot (%.1f KB)\n\n",
+		n, blocks, workers, chunks, float64(res.SnapshotBytes)/1e3)
+	fmt.Printf("%-10s %12s %14s %14s %7s %7s %10s %12s\n",
+		"window", "ns/op", "allocs/op", "B/op", "loads", "evict", "peak part", "staged KB")
+	fmt.Printf("%-10s %12d %14d %14d %7s %7s %10d %12.1f\n",
+		"inline", res.Inline.NsPerOp, res.Inline.AllocsPerOp, res.Inline.BytesPerOp,
+		"-", "-", n, float64(n)*32/1e3)
+	for _, w := range res.Windows {
+		name := "all"
+		if w.WindowChunks > 0 {
+			name = fmt.Sprintf("%d/%d", w.WindowChunks, chunks)
+		}
+		fmt.Printf("%-10s %12d %14d %14d %7d %7d %10d %12.1f\n",
+			name, w.Bench.NsPerOp, w.Bench.AllocsPerOp, w.Bench.BytesPerOp,
+			w.LoadsPerStep, w.EvictionsPerStep, w.PeakParticles,
+			float64(w.StagingPeakBytes)/1e3)
+	}
+	fmt.Println("\nall windows verified byte-identical to the inline step before timing")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}

@@ -14,6 +14,10 @@
 //	tessctl status <job-id>
 //	tessctl list
 //	tessctl cancel <job-id>
+//	tessctl resume <job-id>
+//	    Resubmit a failed or canceled job as a fresh job; a job whose
+//	    spec set checkpoint_dir continues from its committed checkpoint
+//	    instead of starting over. Prints the new job's status.
 //	tessctl watch [-from N] <job-id>
 //	    Stream a job's events as NDJSON to stdout (resumable via -from).
 //	tessctl density [-step N] [-z K] [-o FILE] <job-id>
@@ -43,7 +47,7 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8437", "daemon base URL")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tessctl [-addr URL] {submit|status|list|cancel|watch|density|stats} [args]\n")
+			"usage: tessctl [-addr URL] {submit|status|list|cancel|resume|watch|density|stats} [args]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,6 +65,8 @@ func main() {
 		err = runJSON1(ctx, flag.Args()[1:], func(id string) (any, error) { return c.Status(ctx, id) })
 	case "cancel":
 		err = runJSON1(ctx, flag.Args()[1:], func(id string) (any, error) { return c.Cancel(ctx, id) })
+	case "resume":
+		err = runJSON1(ctx, flag.Args()[1:], func(id string) (any, error) { return c.Resume(ctx, id) })
 	case "list":
 		err = printJSON(c.List(ctx))
 	case "stats":

@@ -93,7 +93,7 @@ func RunInSitu(cfg InSituConfig, hook func(Snapshot) error) ([]Snapshot, error) 
 			outputPath = filepath.Join(cfg.OutputDir, fmt.Sprintf("tess-step-%04d.out", s.Step))
 		}
 		t0 := time.Now()
-		out, err := sess.StepTo(ParticlesFromSim(s), outputPath)
+		out, err := sess.Step(ParticlesFromSim(s), WithOutputPath(outputPath))
 		if err != nil {
 			runErr = fmt.Errorf("tess: step %d: %w", s.Step, err)
 			return

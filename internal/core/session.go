@@ -13,6 +13,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/meshio"
 	"repro/internal/obs"
+	"repro/internal/storage"
 	"repro/internal/voronoi"
 )
 
@@ -89,6 +90,11 @@ type Session struct {
 	rebalances    int
 
 	warmID, coldID obs.CounterID // valid when cfg.Recorder != nil
+
+	// lastOut is the most recent successful step's Output loan — the
+	// meshes Checkpoint persists. Valid until the next step overwrites
+	// the retained builders, which is why Checkpoint runs between steps.
+	lastOut *Output
 
 	// Warm density-pipeline state (StepDensity). The pipeline retains its
 	// triangulation scratch, estimator accumulators, and grid buffers
@@ -199,6 +205,18 @@ func (s *Session) installDecomposition(d *diy.Decomposition) {
 	}
 }
 
+// StepOpts carries the per-step options of StepSource; the public tess
+// layer builds it from functional StepOption values.
+type StepOpts struct {
+	// OutputPath is this step's collective output destination; empty
+	// writes nothing.
+	OutputPath string
+	// CheckpointEvery, when positive, checkpoints the session into
+	// Config.CheckpointDir after every CheckpointEvery-th completed
+	// step.
+	CheckpointEvery int
+}
+
 // Step runs one full tessellation pass over particles through the
 // session's retained state, writing to cfg.OutputPath if set. The returned
 // Output is a loan valid until the next Step (see Session); its content is
@@ -207,7 +225,7 @@ func (s *Session) installDecomposition(d *diy.Decomposition) {
 //
 //tess:loaned
 func (s *Session) Step(particles []diy.Particle) (*Output, error) {
-	return s.StepPath(particles, s.cfg.OutputPath)
+	return s.StepSource(storage.NewSliceSource(particles), StepOpts{OutputPath: s.cfg.OutputPath})
 }
 
 // StepPath is Step with a per-step output destination (empty writes
@@ -215,6 +233,23 @@ func (s *Session) Step(particles []diy.Particle) (*Output, error) {
 //
 //tess:loaned
 func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output, error) {
+	return s.StepSource(storage.NewSliceSource(particles), StepOpts{OutputPath: outputPath})
+}
+
+// StepSource is the step path every variant routes through: one full
+// tessellation pass over the particles supplied by src, consumed chunk
+// by chunk so a windowed FileSource never stages the whole snapshot.
+// Inline Steps arrive here as single-chunk SliceSources; the output is
+// byte-identical either way because chunk concatenation is the snapshot
+// in order and partitioning is order-preserving.
+//
+// The exception is a step that must (re)build an RCB decomposition —
+// the first step of an RCB session, or a warm rebalance — which needs
+// every particle position at once and therefore materializes the
+// source for that step only.
+//
+//tess:loaned
+func (s *Session) StepSource(src storage.Source, opts StepOpts) (*Output, error) {
 	if s.closed {
 		return nil, fmt.Errorf("core: session is closed")
 	}
@@ -230,10 +265,8 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 	if s.terminal != nil {
 		return nil, fmt.Errorf("core: session terminally failed at step %d: %w", s.steps, s.terminal)
 	}
-	for _, p := range particles {
-		if !s.cfg.Domain.Contains(p.Pos) {
-			return nil, fmt.Errorf("core: particle %d at %v outside domain", p.ID, p.Pos)
-		}
+	if opts.CheckpointEvery > 0 && s.cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("core: CheckpointEvery requires Config.CheckpointDir")
 	}
 	if s.d == nil || s.rebalanceNow {
 		// First RCB step, or a warm re-decomposition: (re)build the
@@ -242,6 +275,10 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 		// the recorder carry over, and because each step's geometry depends
 		// only on its own decomposition and particles, the merged canonical
 		// output stays byte-identical to a standalone run.
+		particles, err := materializeSource(src, s.cfg.Domain)
+		if err != nil {
+			return nil, err
+		}
 		d, err := decomposeFor(s.cfg, s.numBlocks, particles)
 		if err != nil {
 			return nil, err
@@ -260,8 +297,24 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 		}
 		s.installDecomposition(d)
 		s.rebalanceNow = false
+		s.parts = diy.PartitionParticlesInto(s.d, particles, s.parts)
+	} else {
+		// Streaming path: load, validate, partition, and release one
+		// chunk at a time, so the resident staging set is the source's
+		// window, not the snapshot.
+		s.parts = diy.ResetPartition(s.d, s.parts)
+		for c, n := 0, src.Chunks(); c < n; c++ {
+			chunk, err := src.Chunk(c)
+			if err != nil {
+				return nil, fmt.Errorf("core: source chunk %d: %w", c, err)
+			}
+			if err := checkInDomain(chunk, s.cfg.Domain); err != nil {
+				return nil, err
+			}
+			s.parts = diy.PartitionParticlesAppend(s.d, chunk, s.parts)
+			src.Release(c)
+		}
 	}
-	s.parts = diy.PartitionParticlesInto(s.d, particles, s.parts)
 	rec := s.cfg.Recorder
 	if rec != nil && s.steps > 0 {
 		// Each step gets a fresh observation epoch; counter registrations
@@ -273,7 +326,7 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 	errs := make([]error, s.numBlocks)
 	var mu sync.Mutex
 	runErr := s.w.Run(func(rank int) {
-		res, tm, err := s.tessellateRank(rank, outputPath)
+		res, tm, err := s.tessellateRank(rank, opts.OutputPath)
 		s.computeTm[rank] = tm.Compute
 		if err != nil {
 			errs[rank] = err
@@ -323,7 +376,43 @@ func (s *Session) StepPath(particles []diy.Particle, outputPath string) (*Output
 		s.rebalanceNow = true
 	}
 	s.steps++
+	s.lastOut = out
+	if opts.CheckpointEvery > 0 && s.steps%opts.CheckpointEvery == 0 {
+		if err := s.Checkpoint(s.cfg.CheckpointDir); err != nil {
+			return nil, fmt.Errorf("core: step %d checkpoint: %w", s.steps, err)
+		}
+	}
 	return out, nil
+}
+
+// materializeSource drains src into one slice (validating domain
+// containment chunk by chunk), for the decomposition-(re)building steps
+// that need every position at once.
+func materializeSource(src storage.Source, domain geom.Box) ([]diy.Particle, error) {
+	var all []diy.Particle
+	for c, n := 0, src.Chunks(); c < n; c++ {
+		chunk, err := src.Chunk(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: source chunk %d: %w", c, err)
+		}
+		if err := checkInDomain(chunk, domain); err != nil {
+			return nil, err
+		}
+		all = append(all, chunk...)
+		src.Release(c)
+	}
+	return all, nil
+}
+
+// checkInDomain rejects particles outside the configured domain before
+// they can reach Locate.
+func checkInDomain(ps []diy.Particle, domain geom.Box) error {
+	for _, p := range ps {
+		if !domain.Contains(p.Pos) {
+			return fmt.Errorf("core: particle %d at %v outside domain", p.ID, p.Pos)
+		}
+	}
+	return nil
 }
 
 // imbalanceRatio is the slowest-over-mean ratio of the per-rank durations
@@ -485,6 +574,10 @@ func (s *Session) Abort(cause error) {
 
 // Steps returns the number of completed (successful) steps.
 func (s *Session) Steps() int { return s.steps }
+
+// DefaultOutputPath returns cfg.OutputPath — the destination a Step
+// without an explicit per-step path writes to.
+func (s *Session) DefaultOutputPath() string { return s.cfg.OutputPath }
 
 // WarmStats returns the cumulative warm/cold site classification over all
 // steps and ranks: warm sites moved at most the ghost distance since the

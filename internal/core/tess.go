@@ -87,6 +87,10 @@ type Config struct {
 	// OutputPath, when non-empty, writes all blocks to this single file
 	// through the collective I/O layer.
 	OutputPath string
+	// CheckpointDir, when non-empty, is where Session.Checkpoint (and the
+	// per-step auto-checkpoint armed by a positive StepOpts.CheckpointEvery)
+	// persists session state for ResumeSession.
+	CheckpointDir string
 	// LabelVoids also labels connected components of cells above
 	// VoidThreshold in situ, right after the tessellation (the paper's
 	// Sec. V: "we plan to label connected components automatically in situ

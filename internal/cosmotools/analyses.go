@@ -12,6 +12,7 @@ import (
 	"repro/internal/multistream"
 	"repro/internal/nbody"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/voids"
 )
 
@@ -170,7 +171,7 @@ func (a *tessAnalysis) Run(ctx *Context) (Result, error) {
 	if a.write && ctx.OutputDir != "" {
 		outputPath = filepath.Join(ctx.OutputDir, fmt.Sprintf("tess-step-%04d.out", ctx.Step))
 	}
-	out, err := a.sess.StepPath(sites, outputPath)
+	out, err := a.sess.StepSource(storage.NewSliceSource(sites), core.StepOpts{OutputPath: outputPath})
 	if err != nil {
 		return Result{}, err
 	}

@@ -175,6 +175,36 @@ func PartitionParticlesInto(d *Decomposition, particles []Particle, buf [][]Part
 	return buf
 }
 
+// ResetPartition returns buf resized to d.NumBlocks() ranks with every
+// per-rank slice emptied (capacity retained), ready for chunk-wise
+// PartitionParticlesAppend calls.
+func ResetPartition(d *Decomposition, buf [][]Particle) [][]Particle {
+	n := d.NumBlocks()
+	if cap(buf) < n {
+		buf = append(buf[:cap(buf)], make([][]Particle, n-cap(buf))...)
+	}
+	buf = buf[:n]
+	for r := range buf {
+		buf[r] = buf[r][:0]
+	}
+	return buf
+}
+
+// PartitionParticlesAppend partitions particles into buf *without*
+// resetting the per-rank slices first. It is the out-of-core streaming
+// path: a session partitions a snapshot chunk by chunk (ResetPartition
+// once, then one append per chunk), and because chunk concatenation is
+// the snapshot in order, the accumulated partition matches
+// PartitionParticles of the whole snapshot exactly.
+func PartitionParticlesAppend(d *Decomposition, particles []Particle, buf [][]Particle) [][]Particle {
+	buf = buf[:d.NumBlocks()]
+	for _, p := range particles {
+		r := d.Locate(p.Pos)
+		buf[r] = append(buf[r], p)
+	}
+	return buf
+}
+
 // GatherGhosts computes the same ghost set ExchangeGhost would deliver to
 // rank, directly from the globally partitioned particle arrays and without
 // a communicator. It exists for the sequential timing harness (which runs

@@ -1,0 +1,223 @@
+package diy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Decomposition (de)serialization for checkpoint/restart: a resumed
+// session must re-install the *identical* decomposition — block bounds
+// bit-for-bit, RCB split planes and neighborhood links included — so
+// that warm-state reuse and the targeted exchange behave exactly as in
+// the uninterrupted run. The encoding is the same little-endian style
+// as the mesh and blockio formats, with its own magic.
+
+const decompMagic uint64 = 0x7465737344435031 // "tessDCP1"
+
+type decWriter struct {
+	buf bytes.Buffer
+	err error
+}
+
+func (w *decWriter) u64(v uint64) { w.write(v) }
+func (w *decWriter) i64(v int64)  { w.write(v) }
+func (w *decWriter) i32(v int32)  { w.write(v) }
+func (w *decWriter) f64(v float64) {
+	w.write(math.Float64bits(v))
+}
+func (w *decWriter) vec(v geom.Vec3) { w.f64(v.X); w.f64(v.Y); w.f64(v.Z) }
+func (w *decWriter) box(b geom.Box)  { w.vec(b.Min); w.vec(b.Max) }
+func (w *decWriter) b(v bool) {
+	var x byte
+	if v {
+		x = 1
+	}
+	w.write(x)
+}
+func (w *decWriter) write(v any) {
+	if w.err == nil {
+		w.err = binary.Write(&w.buf, binary.LittleEndian, v)
+	}
+}
+
+// MarshalBinary serializes the decomposition, including the RCB split
+// tree and precomputed neighborhood links when present.
+func (d *Decomposition) MarshalBinary() ([]byte, error) {
+	w := &decWriter{}
+	w.u64(decompMagic)
+	w.box(d.Domain)
+	for a := 0; a < 3; a++ {
+		w.i64(int64(d.Dims[a]))
+	}
+	w.b(d.Periodic)
+	w.u64(uint64(len(d.blocks)))
+	for _, b := range d.blocks {
+		w.i64(int64(b.Rank))
+		for a := 0; a < 3; a++ {
+			w.i64(int64(b.Coords[a]))
+		}
+		w.box(b.Bounds)
+	}
+	w.b(d.rcb != nil)
+	if d.rcb != nil {
+		w.u64(uint64(len(d.rcb.nodes)))
+		for _, nd := range d.rcb.nodes {
+			w.i32(int32(nd.axis))
+			w.f64(nd.split)
+			w.i32(nd.left)
+			w.i32(nd.right)
+		}
+		w.i32(d.rcb.root)
+		w.f64(d.rcb.linkGhost)
+		w.u64(uint64(len(d.rcb.links)))
+		for _, ls := range d.rcb.links {
+			w.u64(uint64(len(ls)))
+			for _, n := range ls {
+				w.i64(int64(n.Rank))
+				for a := 0; a < 3; a++ {
+					w.i64(int64(n.Dir[a]))
+				}
+				w.vec(n.Shift)
+				w.b(n.Periodic)
+			}
+		}
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.buf.Bytes(), nil
+}
+
+type decReader struct {
+	buf *bytes.Reader
+	err error
+}
+
+func (r *decReader) u64() uint64 {
+	var v uint64
+	r.read(&v)
+	return v
+}
+func (r *decReader) i64() int64 {
+	var v int64
+	r.read(&v)
+	return v
+}
+func (r *decReader) i32() int32 {
+	var v int32
+	r.read(&v)
+	return v
+}
+func (r *decReader) f64() float64 {
+	var v uint64
+	r.read(&v)
+	return math.Float64frombits(v)
+}
+func (r *decReader) vec() geom.Vec3 {
+	return geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()}
+}
+func (r *decReader) box() geom.Box {
+	return geom.Box{Min: r.vec(), Max: r.vec()}
+}
+func (r *decReader) b() bool {
+	var v byte
+	r.read(&v)
+	return v != 0
+}
+func (r *decReader) read(v any) {
+	if r.err == nil {
+		r.err = binary.Read(r.buf, binary.LittleEndian, v)
+	}
+}
+
+// count validates a length field against the remaining input so a
+// corrupt count cannot drive a huge allocation.
+func (r *decReader) count(what string) (int, error) {
+	n := r.u64()
+	if r.err != nil {
+		return 0, r.err
+	}
+	if n > uint64(r.buf.Len())+1 {
+		return 0, fmt.Errorf("diy: implausible %s count %d", what, n)
+	}
+	return int(n), nil
+}
+
+// UnmarshalDecomposition parses a decomposition produced by
+// MarshalBinary.
+func UnmarshalDecomposition(data []byte) (*Decomposition, error) {
+	r := &decReader{buf: bytes.NewReader(data)}
+	if magic := r.u64(); magic != decompMagic {
+		return nil, fmt.Errorf("diy: bad decomposition magic %#x", magic)
+	}
+	d := &Decomposition{}
+	d.Domain = r.box()
+	for a := 0; a < 3; a++ {
+		d.Dims[a] = int(r.i64())
+	}
+	d.Periodic = r.b()
+	nb, err := r.count("block")
+	if err != nil {
+		return nil, err
+	}
+	d.blocks = make([]Block, nb)
+	for i := range d.blocks {
+		d.blocks[i].Rank = int(r.i64())
+		for a := 0; a < 3; a++ {
+			d.blocks[i].Coords[a] = int(r.i64())
+		}
+		d.blocks[i].Bounds = r.box()
+	}
+	if r.b() {
+		s := &rcbState{}
+		nn, err := r.count("rcb node")
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = make([]rcbNode, nn)
+		for i := range s.nodes {
+			s.nodes[i].axis = int(r.i32())
+			s.nodes[i].split = r.f64()
+			s.nodes[i].left = r.i32()
+			s.nodes[i].right = r.i32()
+		}
+		s.root = r.i32()
+		s.linkGhost = r.f64()
+		nl, err := r.count("link rank")
+		if err != nil {
+			return nil, err
+		}
+		if nl != nb {
+			return nil, fmt.Errorf("diy: %d link lists for %d blocks", nl, nb)
+		}
+		s.links = make([][]Neighbor, nl)
+		for i := range s.links {
+			nk, err := r.count("link")
+			if err != nil {
+				return nil, err
+			}
+			s.links[i] = make([]Neighbor, nk)
+			for j := range s.links[i] {
+				n := &s.links[i][j]
+				n.Rank = int(r.i64())
+				for a := 0; a < 3; a++ {
+					n.Dir[a] = int(r.i64())
+				}
+				n.Shift = r.vec()
+				n.Periodic = r.b()
+			}
+		}
+		d.rcb = s
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.buf.Len() != 0 {
+		return nil, fmt.Errorf("diy: %d trailing bytes after decomposition", r.buf.Len())
+	}
+	return d, nil
+}

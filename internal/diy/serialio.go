@@ -1,0 +1,52 @@
+package diy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Serial block I/O: WriteBlocks produces the same single-file layout as
+// CollectiveWrite — payload sections, footer index, trailer — from one
+// goroutine with no World. It is the writer behind snapshot files and
+// checkpoint artifacts, which are produced outside any collective step
+// (between steps, or by offline tools), while ReadIndex/ReadBlock serve
+// both layouts identically.
+
+// WriteBlocks writes one payload section per block into path, followed
+// by the footer index and trailer, so the file is readable with
+// ReadIndex/ReadBlock/ReadAllBlocks. It returns the total file size.
+func WriteBlocks(path string, payloads [][]byte) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("diy: create %s: %w", path, err)
+	}
+	defer f.Close()
+	offsets := make([]int64, len(payloads))
+	var total int64
+	for i, p := range payloads {
+		offsets[i] = total
+		if _, err := f.Write(p); err != nil {
+			return 0, fmt.Errorf("diy: write %s: %w", path, err)
+		}
+		total += int64(len(p))
+	}
+	for i, p := range payloads {
+		if err := binary.Write(f, binary.LittleEndian, uint64(offsets[i])); err != nil {
+			return 0, err
+		}
+		if err := binary.Write(f, binary.LittleEndian, uint64(len(p))); err != nil {
+			return 0, err
+		}
+	}
+	trailer := []uint64{uint64(total), uint64(len(payloads)), blockIOMagic}
+	for _, v := range trailer {
+		if err := binary.Write(f, binary.LittleEndian, v); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("diy: sync %s: %w", path, err)
+	}
+	return total + int64(16*len(payloads)) + 24, nil
+}

@@ -1,0 +1,168 @@
+package diy
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestWriteBlocksMatchesCollectiveLayout pins the serial writer to the
+// collective one: same payloads, byte-identical file.
+func TestWriteBlocksMatchesCollectiveLayout(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("rank zero"),
+		{},
+		bytes.Repeat([]byte{0xab}, 1000),
+		[]byte("tail"),
+	}
+	dir := t.TempDir()
+	serial := filepath.Join(dir, "serial.bin")
+	if _, err := WriteBlocks(serial, payloads); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllBlocks(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("read %d blocks, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("block %d: %d bytes, want %d", i, len(got[i]), len(payloads[i]))
+		}
+	}
+	idx, err := ReadIndex(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payloads {
+		if idx.Sizes[i] != int64(len(payloads[i])) {
+			t.Fatalf("index size %d = %d, want %d", i, idx.Sizes[i], len(payloads[i]))
+		}
+		one, err := ReadBlock(serial, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one, payloads[i]) {
+			t.Fatalf("ReadBlock(%d) mismatch", i)
+		}
+	}
+	if _, err := WriteBlocks(filepath.Join(dir, "no", "such", "dir.bin"), payloads); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+// TestMarshalDecompositionGrid round-trips a regular-grid decomposition
+// through the binary form and checks the reconstruction locates and
+// links identically.
+func TestMarshalDecompositionGrid(t *testing.T) {
+	for _, blocks := range []int{1, 2, 8} {
+		d, err := Decompose(geom.NewBox(geom.V(0, 0, 0), geom.V(8, 8, 8)), blocks, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDecompRoundTrip(t, d)
+	}
+}
+
+// TestMarshalDecompositionRCB does the same for an RCB decomposition,
+// whose cut tree and explicit link table must survive serialization for
+// Locate to keep working.
+func TestMarshalDecompositionRCB(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var ps []Particle
+	for i := 0; i < 500; i++ {
+		// Clustered: Locate must be exercised off the grid fast path.
+		base := geom.V(2+4*rng.Float64(), 2, 6)
+		ps = append(ps, Particle{ID: int64(i), Pos: geom.Vec3{
+			X: base.X + rng.Float64(),
+			Y: base.Y + rng.Float64()*4,
+			Z: base.Z*rng.Float64() + 1,
+		}})
+	}
+	for _, blocks := range []int{2, 4, 8} {
+		d, err := DecomposeRCB(geom.NewBox(geom.V(0, 0, 0), geom.V(8, 8, 8)), blocks, true, ps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDecompRoundTrip(t, d)
+	}
+}
+
+func checkDecompRoundTrip(t *testing.T, d *Decomposition) {
+	t.Helper()
+	raw, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshal must be deterministic (checkpoint bytes are compared).
+	raw2, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("MarshalBinary is nondeterministic")
+	}
+	got, err := UnmarshalDecomposition(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumBlocks() != d.NumBlocks() || got.Domain != d.Domain || got.Periodic != d.Periodic {
+		t.Fatalf("round trip: %d blocks %v, want %d blocks %v",
+			got.NumBlocks(), got.Domain, d.NumBlocks(), d.Domain)
+	}
+	for r := 0; r < d.NumBlocks(); r++ {
+		if got.Block(r) != d.Block(r) {
+			t.Fatalf("block %d: %+v != %+v", r, got.Block(r), d.Block(r))
+		}
+		wantN, gotN := d.Neighbors(r), got.Neighbors(r)
+		if len(wantN) != len(gotN) {
+			t.Fatalf("rank %d: %d neighbors, want %d", r, len(gotN), len(wantN))
+		}
+		for i := range wantN {
+			if wantN[i] != gotN[i] {
+				t.Fatalf("rank %d neighbor %d: %+v != %+v", r, i, gotN[i], wantN[i])
+			}
+		}
+	}
+	// Locate agreement over a deterministic point sweep.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		p := geom.V(rng.Float64()*8, rng.Float64()*8, rng.Float64()*8)
+		if a, b := d.Locate(p), got.Locate(p); a != b {
+			t.Fatalf("Locate(%v) = %d after round trip, want %d", p, b, a)
+		}
+	}
+}
+
+// TestUnmarshalDecompositionRejectsGarbage covers the defensive paths.
+func TestUnmarshalDecompositionRejectsGarbage(t *testing.T) {
+	d, err := Decompose(geom.NewBox(geom.V(0, 0, 0), geom.V(4, 4, 4)), 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalDecomposition(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	for i := 1; i < len(raw); i += 7 {
+		if _, err := UnmarshalDecomposition(raw[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := UnmarshalDecomposition(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := UnmarshalDecomposition(append(raw, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

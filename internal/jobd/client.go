@@ -122,6 +122,15 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
+// Resume resubmits a failed or canceled job as a fresh job and returns
+// the new job's status; when the spec set checkpoint_dir, the new job
+// continues from the committed checkpoint.
+func (c *Client) Resume(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/resume", nil, &st)
+	return st, err
+}
+
 // Stats fetches the daemon-wide stats.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats

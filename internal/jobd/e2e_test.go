@@ -13,11 +13,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	tess "repro"
 	"repro/internal/jobd"
 	"repro/internal/jobd/jobdtest"
 )
@@ -534,5 +536,146 @@ func TestE2EDensitySpecValidation(t *testing.T) {
 	spec.Density = &jobd.DensitySpec{GridN: 12} // non-pow2 fine without spectrum
 	if _, err := h.Client.Submit(ctx, spec); err != nil {
 		t.Errorf("valid density spec rejected: %v", err)
+	}
+}
+
+// A checkpointing job killed mid-run is resubmitted through the resume
+// endpoint and picks up from its last committed checkpoint instead of
+// starting over. The crashed run's meshes plus the resumed run's meshes
+// together must be byte-identical to an uninterrupted direct session.
+func TestE2EResumeFromCheckpoint(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	ctx := context.Background()
+
+	spec := happySpec(40, 3)
+	spec.Name = "resumable"
+	spec.CheckpointDir = filepath.Join(t.TempDir(), "ck")
+	// Fault checkpoints accumulate four per session step; checkpoint 10
+	// is step 3's "compute" site, so steps 1-2 complete and checkpoint.
+	// The resumed session replays only step 3 (checkpoints 1-4 of its
+	// own injector), so the same plan never fires again.
+	spec.Fault = &jobd.FaultSpec{Seed: 41, CrashRank: 1, CrashStep: 10}
+
+	st := h.Submit(t, spec)
+	events, final := h.Wait(t, st.ID, e2eWait)
+	if final.State != jobd.StateFailed || final.StepsDone != 2 {
+		t.Fatalf("crashed job final = %+v, want failed after 2 steps", final)
+	}
+	firstMeshes := jobdtest.StepMeshes(t, events)
+	if len(firstMeshes) != 2 {
+		t.Fatalf("crashed job streamed %d step meshes, want 2", len(firstMeshes))
+	}
+
+	st2, err := h.Client.Resume(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if st2.ID == st.ID {
+		t.Fatalf("resume reused job id %s instead of minting a fresh one", st.ID)
+	}
+	events2, final2 := h.Wait(t, st2.ID, e2eWait)
+	if final2.State != jobd.StateDone || final2.StepsDone != 3 {
+		t.Fatalf("resumed job final = %+v, want done after 3 steps", final2)
+	}
+	wantTypes := []string{"queued", "started", "resumed", "step", "done"}
+	if len(events2) != len(wantTypes) {
+		t.Fatalf("resumed job emitted %d events, want %d", len(events2), len(wantTypes))
+	}
+	for i, e := range events2 {
+		if e.Type != wantTypes[i] {
+			t.Errorf("resumed event %d type = %q, want %q", i, e.Type, wantTypes[i])
+		}
+	}
+	if events2[2].Step != 2 {
+		t.Errorf("resumed event reports %d skipped steps, want 2", events2[2].Step)
+	}
+	term := jobdtest.Terminal(t, events2)
+	if term.Type != "done" || term.Steps != 3 {
+		t.Fatalf("resumed terminal = %+v, want done with 3 steps", term)
+	}
+
+	// Byte identity across the kill: run-1 steps 1-2 plus run-2 step 3
+	// equal the uninterrupted direct session end to end.
+	want := jobdtest.DirectMeshes(t, happySpec(40, 3))
+	got := append(firstMeshes, jobdtest.StepMeshes(t, events2)...)
+	if len(got) != len(want) {
+		t.Fatalf("stitched runs produced %d meshes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("step %d mesh differs from uninterrupted direct session", i+1)
+		}
+	}
+
+	// A completed job is not resumable, and unknown ids stay 404.
+	var apiErr *jobd.APIError
+	if _, err := h.Client.Resume(ctx, st2.ID); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("resume of done job: err = %v, want 400 APIError", err)
+	}
+	if _, err := h.Client.Resume(ctx, "j9999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("resume of unknown job: err = %v, want 404 APIError", err)
+	}
+}
+
+// An out-of-core job reads its particles from a chunked snapshot file on
+// the daemon's filesystem through a bounded resident window, and its
+// mesh is byte-identical to the same particles submitted inline.
+func TestE2ESnapshotURIJob(t *testing.T) {
+	h := jobdtest.Start(t, jobd.Config{})
+	ctx := context.Background()
+
+	snap := jobdtest.Snapshots(50, 1, 6, 8)
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := tess.WriteSnapshot(path, jobdtest.Particles(snap[0]), 4); err != nil {
+		t.Fatal(err)
+	}
+	spec := jobd.JobSpec{
+		L:            8,
+		Blocks:       2,
+		Ghost:        3,
+		SnapshotURI:  path,
+		SourceWindow: 2,
+		IncludeMesh:  true,
+	}
+	st := h.Submit(t, spec)
+	events, final := h.Wait(t, st.ID, e2eWait)
+	if final.State != jobd.StateDone || final.StepsDone != 1 {
+		t.Fatalf("uri job final = %+v, want done after 1 step", final)
+	}
+	got := jobdtest.StepMeshes(t, events)
+	inline := spec
+	inline.SnapshotURI, inline.SourceWindow = "", 0
+	inline.Snapshots = snap
+	want := jobdtest.DirectMeshes(t, inline)
+	if len(got) != 1 || !bytes.Equal(got[0], want[0]) {
+		t.Error("uri job mesh differs from the inline direct session")
+	}
+
+	// Source-spec validation is 400 at admission.
+	var apiErr *jobd.APIError
+	both := spec
+	both.Snapshots = snap
+	if _, err := h.Client.Submit(ctx, both); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("uri+inline sources: err = %v, want 400", err)
+	}
+	win := happySpec(51, 1)
+	win.SourceWindow = 2
+	if _, err := h.Client.Submit(ctx, win); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("window without uri: err = %v, want 400", err)
+	}
+	dens := spec
+	dens.Density = &jobd.DensitySpec{GridN: 8}
+	if _, err := h.Client.Submit(ctx, dens); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("density with uri: err = %v, want 400", err)
+	}
+
+	// A missing snapshot file fails the job at run time — a structured
+	// error, not a hang.
+	missing := spec
+	missing.SnapshotURI = filepath.Join(t.TempDir(), "nope.bin")
+	st2 := h.Submit(t, missing)
+	_, final2 := h.Wait(t, st2.ID, e2eWait)
+	if final2.State != jobd.StateFailed || final2.Error == nil {
+		t.Fatalf("missing-snapshot job final = %+v, want failed with error info", final2)
 	}
 }

@@ -8,15 +8,18 @@ import (
 // Event is one NDJSON record of a job's event stream. Every job emits a
 // totally ordered sequence: queued, then (unless canceled while queued)
 // started, then one step event per completed Step, terminated by exactly
-// one of done, error, or canceled. Seq numbers from 0 with no gaps, so a
-// client can resume a broken stream with ?from=<next seq>.
+// one of done, error, or canceled. A job reopening a session checkpoint
+// emits one "resumed" event (Step = steps skipped) between started and
+// its first step. Seq numbers from 0 with no gaps, so a client can
+// resume a broken stream with ?from=<next seq>.
 type Event struct {
 	Job  string    `json:"job"`
 	Seq  int       `json:"seq"`
-	Type string    `json:"type"` // "queued" | "started" | "step" | "done" | "error" | "canceled"
+	Type string    `json:"type"` // "queued" | "started" | "resumed" | "step" | "done" | "error" | "canceled"
 	Time time.Time `json:"time"`
 
-	// Step fields (type "step"); Step counts from 1.
+	// Step fields (type "step"); for type "resumed", Step is the number
+	// of checkpointed steps skipped. Step counts from 1.
 	Step  int   `json:"step,omitempty"`
 	Sites int64 `json:"sites,omitempty"`
 	Cells int64 `json:"cells,omitempty"`

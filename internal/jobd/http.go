@@ -19,6 +19,10 @@ import (
 //	GET    /v1/jobs             -> []JobStatus (submission order)
 //	GET    /v1/jobs/{id}        -> JobStatus | 404
 //	DELETE /v1/jobs/{id}        -> JobStatus after cancel | 404
+//	POST   /v1/jobs/{id}/resume -> 202 new JobStatus (failed/canceled
+//	                               job resubmitted; continues from its
+//	                               committed checkpoint when the spec
+//	                               set checkpoint_dir) | 400 | 404
 //	GET    /v1/jobs/{id}/events -> NDJSON Event stream (replay + live
 //	                               tail until the terminal event);
 //	                               ?from=N resumes at sequence N
@@ -64,6 +68,14 @@ func (d *Daemon) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		nj, err := d.Resume(r.PathValue("id"))
+		if err != nil {
+			writeError(w, d, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, nj.Status())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/density/{step}", d.handleDensity)

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	tess "repro"
+	"repro/internal/storage"
 )
 
 // State is a job's lifecycle state.
@@ -467,6 +468,28 @@ func (d *Daemon) Cancel(id string) (JobStatus, error) {
 	}
 }
 
+// Resume resubmits a failed or canceled job's spec as a fresh job. When
+// the spec carries a checkpoint_dir with a committed checkpoint (the
+// normal case for a killed checkpointing job), the new job's session
+// reopens it and continues from the step after the checkpoint instead
+// of starting over, emitting a "resumed" event with the skipped step
+// count. The original job is left untouched; the new job gets its own
+// ID, queue slot, and event stream.
+func (d *Daemon) Resume(id string) (*Job, error) {
+	j, err := d.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	state := j.state
+	spec := j.spec
+	j.mu.Unlock()
+	if !state.Terminal() || state == StateDone {
+		return nil, badSpec("job %s is %s; only a failed or canceled job can be resumed", id, state)
+	}
+	return d.Submit(spec)
+}
+
 // countTerminal bumps the daemon's terminal-state counters.
 func (d *Daemon) countTerminal(s State) {
 	d.mu.Lock()
@@ -545,10 +568,32 @@ func (d *Daemon) finishJob(j *Job, state State, info *ErrorInfo) {
 // session owns its own world, and the error surfaces as this job's
 // terminal event while sibling jobs run on undisturbed.
 func (d *Daemon) runJob(j *Job) {
-	src, err := j.spec.source()
-	if err != nil {
-		d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
-		return
+	// The input side: a windowed out-of-core FileSource for a URI job,
+	// the per-step snapshotSource otherwise.
+	var fsrc *tess.FileSource
+	var src snapshotSource
+	if uri := j.spec.SnapshotURI; uri != "" {
+		fs, err := tess.OpenFileSource(uri, j.spec.SourceWindow)
+		if err != nil {
+			d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
+			return
+		}
+		defer fs.Close()
+		if limit := d.cfg.Limits.MaxParticles; limit > 0 && fs.TotalParticles() > limit {
+			d.finishJob(j, StateFailed, &ErrorInfo{
+				Message: fmt.Sprintf("jobd: snapshot %s holds %d particles, exceeding the daemon's limit of %d",
+					uri, fs.TotalParticles(), limit),
+				Kind: "spec",
+			})
+			return
+		}
+		fsrc = fs
+	} else {
+		var err error
+		if src, err = j.spec.source(); err != nil {
+			d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
+			return
+		}
 	}
 	cfg := j.spec.config(d.budget, d.cfg.StallTimeout)
 	var rec *tess.Recorder
@@ -556,10 +601,32 @@ func (d *Daemon) runJob(j *Job) {
 		rec = tess.NewRecorder(j.spec.Blocks)
 		cfg.Recorder = rec
 	}
-	sess, err := tess.Open(cfg, j.spec.Blocks)
-	if err != nil {
-		d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
-		return
+
+	// A checkpointing job whose directory already holds a committed
+	// checkpoint resumes from it: the session reopens at step N and the
+	// loop below starts at N+1. An unreadable or incompatible checkpoint
+	// is ignored — the job starts fresh and overwrites it at its first
+	// completed step — so a stale directory never bricks resubmission.
+	ckdir := j.spec.CheckpointDir
+	var sess *tess.Session
+	resumed := 0
+	if ckdir != "" && tess.HasCheckpoint(ckdir) {
+		// The manifest probe keeps a checkpoint from another job's
+		// geometry (block count is the one axis Resume takes from the
+		// checkpoint rather than validating) out of this job.
+		if man, err := storage.LoadManifest(ckdir); err == nil && man.NumBlocks == j.spec.Blocks {
+			if rs, err := tess.Resume(cfg, ckdir); err == nil {
+				sess = rs
+				resumed = rs.Steps()
+			}
+		}
+	}
+	if sess == nil {
+		var err error
+		if sess, err = tess.Open(cfg, j.spec.Blocks); err != nil {
+			d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
+			return
+		}
 	}
 	defer sess.Close()
 
@@ -576,16 +643,43 @@ func (d *Daemon) runJob(j *Job) {
 	}
 
 	steps := j.spec.Steps()
-	for step := 1; step <= steps; step++ {
+	if resumed > steps {
+		resumed = steps // foreign checkpoint deeper than this job; cap
+	}
+	if resumed > 0 {
+		j.mu.Lock()
+		j.stepsDone = resumed
+		j.mu.Unlock()
+		j.log.append(Event{Job: j.id, Type: "resumed", Step: resumed}, false)
+		// Fast-forward the source past the checkpointed steps (a sim
+		// source must replay its evolution to reach step N's state).
+		for step := 1; step <= resumed && src != nil; step++ {
+			if _, err := src.next(); err != nil {
+				d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
+				return
+			}
+		}
+	}
+	var stepOpts []tess.StepOption
+	if ckdir != "" {
+		stepOpts = append(stepOpts, tess.WithCheckpointEvery(1))
+	}
+	for step := resumed + 1; step <= steps; step++ {
 		if hook := d.cfg.BeforeStep; hook != nil {
 			hook(j.id, step)
 		}
-		particles, err := src.next()
-		if err != nil {
-			d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
-			return
+		var particles []tess.Particle
+		var out *tess.Output
+		var err error
+		if fsrc != nil {
+			out, err = sess.StepFrom(fsrc, stepOpts...)
+		} else {
+			if particles, err = src.next(); err != nil {
+				d.finishJob(j, StateFailed, &ErrorInfo{Message: err.Error(), Kind: "spec"})
+				return
+			}
+			out, err = sess.Step(particles, stepOpts...)
 		}
-		out, err := sess.Step(particles)
 		if err != nil {
 			info := classifyError(err)
 			state := StateFailed

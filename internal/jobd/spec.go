@@ -16,10 +16,11 @@ var ErrBadSpec = errors.New("jobd: bad job spec")
 // JobSpec is the JSON description of one tessellation job a client submits
 // to the daemon. A job is a complete Session lifecycle: Open over Blocks
 // blocks on a periodic cube [0, L)^3, one Step per input snapshot, Close.
-// Particles come either inline (Snapshots, one entry per step — the
-// in situ host shipping its own state) or from the built-in N-body
-// simulation (Sim — a self-contained benchmark/demo tenant). Exactly one
-// of the two must be set.
+// Particles come inline (Snapshots, one entry per step — the in situ
+// host shipping its own state), from the built-in N-body simulation
+// (Sim — a self-contained benchmark/demo tenant), or out of core from a
+// chunked snapshot file on the daemon's filesystem (SnapshotURI).
+// Exactly one of the three must be set.
 type JobSpec struct {
 	// Name is an optional client label echoed in statuses and events.
 	Name string `json:"name,omitempty"`
@@ -46,6 +47,24 @@ type JobSpec struct {
 	// Sim generates the job's snapshots from the built-in N-body
 	// simulation instead (mutually exclusive with Snapshots).
 	Sim *SimSpec `json:"sim,omitempty"`
+	// SnapshotURI names a chunked snapshot file on the daemon's
+	// filesystem (written by tess.WriteSnapshot) as the job's single
+	// input snapshot, streamed out of core through a windowed FileSource
+	// instead of being inlined in the spec JSON. Exactly one of
+	// Snapshots, Sim, or SnapshotURI must be set; a URI job runs one
+	// tessellation step.
+	SnapshotURI string `json:"snapshot_uri,omitempty"`
+	// SourceWindow bounds the snapshot source's resident chunk window
+	// (<= 0 keeps every loaded chunk resident). Only meaningful with
+	// SnapshotURI.
+	SourceWindow int `json:"source_window,omitempty"`
+
+	// CheckpointDir, when non-empty, checkpoints the job's session into
+	// that directory after every completed step. A killed job resubmitted
+	// with the same spec (tessctl resume / POST /v1/jobs/{id}/resume)
+	// reopens the committed checkpoint and continues from the step after
+	// it instead of starting over.
+	CheckpointDir string `json:"checkpoint_dir,omitempty"`
 
 	// Density attaches the streaming density pipeline to the job: after
 	// every tessellation step the session also runs StepDensity over the
@@ -157,11 +176,23 @@ func (s *JobSpec) Validate(limits Limits) error {
 	default:
 		return badSpec("decomposition %q, want \"grid\" or \"rcb\"", s.Decomposition)
 	}
-	hasSnaps, hasSim := len(s.Snapshots) > 0, s.Sim != nil
-	if hasSnaps == hasSim {
-		return badSpec("exactly one of snapshots or sim must be set")
+	sources := 0
+	for _, set := range []bool{len(s.Snapshots) > 0, s.Sim != nil, s.SnapshotURI != ""} {
+		if set {
+			sources++
+		}
 	}
-	steps := len(s.Snapshots)
+	if sources != 1 {
+		return badSpec("exactly one of snapshots, sim, or snapshot_uri must be set")
+	}
+	if s.SnapshotURI != "" && s.Density != nil {
+		return badSpec("density is not supported with snapshot_uri (the streamed snapshot is never staged whole)")
+	}
+	if s.SourceWindow != 0 && s.SnapshotURI == "" {
+		return badSpec("source_window requires snapshot_uri")
+	}
+	steps := s.Steps()
+	hasSim := s.Sim != nil
 	if hasSim {
 		if s.Sim.NG < 2 {
 			return badSpec("sim.ng = %d, want >= 2", s.Sim.NG)
@@ -169,7 +200,6 @@ func (s *JobSpec) Validate(limits Limits) error {
 		if s.Sim.Steps < 1 {
 			return badSpec("sim.steps = %d, want >= 1", s.Sim.Steps)
 		}
-		steps = s.Sim.Steps
 	}
 	if limits.MaxSteps > 0 && steps > limits.MaxSteps {
 		return badSpec("%d steps exceeds the daemon's limit of %d", steps, limits.MaxSteps)
@@ -225,6 +255,9 @@ func (s *JobSpec) Steps() int {
 	if s.Sim != nil {
 		return s.Sim.Steps
 	}
+	if s.SnapshotURI != "" {
+		return 1
+	}
 	return len(s.Snapshots)
 }
 
@@ -249,6 +282,9 @@ func (s *JobSpec) config(budget *tess.WorkerBudget, stall time.Duration) tess.Co
 	}
 	if s.Decomposition == "rcb" {
 		opts = append(opts, tess.WithDecomposition(tess.DecomposeRCB))
+	}
+	if s.CheckpointDir != "" {
+		opts = append(opts, tess.WithCheckpointDir(s.CheckpointDir))
 	}
 	if p := s.Fault.plan(); p != nil {
 		opts = append(opts, tess.WithFaults(p))

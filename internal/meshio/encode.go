@@ -3,11 +3,49 @@ package meshio
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/geom"
 )
+
+// ErrMeshTooLarge reports a mesh whose vertex or connectivity counts
+// exceed what the on-disk formats can index. Both encoders return it
+// (wrapped, matchable with errors.Is) instead of silently truncating
+// counts to uint32 as the v1 encoder once did.
+var ErrMeshTooLarge = errors.New("meshio: mesh exceeds format limits")
+
+// formatCountMax is the largest count either format can represent: v1
+// stores face and face-vertex counts as uint32, and both formats index
+// the vertex pool with int32-backed indices. A package variable (not a
+// const) so tests can lower it and exercise the oversized path without
+// allocating 2^32 elements.
+var formatCountMax uint64 = math.MaxUint32
+
+// checkEncodable validates m's counts against the format limits shared
+// by both encoders.
+func checkEncodable(m *BlockMesh) error {
+	if uint64(len(m.Verts)) > formatCountMax {
+		return fmt.Errorf("meshio: %d vertices: %w", len(m.Verts), ErrMeshTooLarge)
+	}
+	if uint64(len(m.Cells)) > formatCountMax {
+		return fmt.Errorf("meshio: %d cells: %w", len(m.Cells), ErrMeshTooLarge)
+	}
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		if uint64(len(c.Faces)) > formatCountMax {
+			return fmt.Errorf("meshio: cell %d with %d faces: %w", i, len(c.Faces), ErrMeshTooLarge)
+		}
+		for fi := range c.Faces {
+			if uint64(len(c.Faces[fi].Verts)) > formatCountMax {
+				return fmt.Errorf("meshio: cell %d face %d with %d vertices: %w",
+					i, fi, len(c.Faces[fi].Verts), ErrMeshTooLarge)
+			}
+		}
+	}
+	return nil
+}
 
 // Binary block format (little-endian):
 //
@@ -50,8 +88,11 @@ func (w *writer) write(v any) {
 	}
 }
 
-// Encode serializes the block mesh.
+// Encode serializes the block mesh in the v1 format.
 func (m *BlockMesh) Encode() ([]byte, error) {
+	if err := checkEncodable(m); err != nil {
+		return nil, err
+	}
 	w := &writer{}
 	w.u64(meshMagic)
 	w.vec(m.Extents.Min)
@@ -137,8 +178,13 @@ func (r *reader) read(v any) {
 	}
 }
 
-// DecodeBlockMesh parses a block produced by Encode.
+// DecodeBlockMesh parses a block produced by either encoder: the first
+// eight bytes select the v1 path (kept so old artifacts stay readable)
+// or the versioned v2 container.
 func DecodeBlockMesh(data []byte) (*BlockMesh, error) {
+	if len(data) >= 8 && binary.LittleEndian.Uint64(data) == meshMagicFmt {
+		return decodeV2Single(data)
+	}
 	r := &reader{buf: bytes.NewReader(data)}
 	if magic := r.u64(); magic != meshMagic {
 		return nil, fmt.Errorf("meshio: bad magic %#x", magic)

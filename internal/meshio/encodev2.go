@@ -1,0 +1,567 @@
+package meshio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Mesh interchange format v2: the compact on-disk encoding behind
+// out-of-core artifacts (per-step block files, checkpoints). Unlike v1,
+// the magic identifies only the container family and an explicit
+// version field selects the layout, so future revisions do not need a
+// new magic. A v2 file is a *stream* of self-delimited block frames —
+// the Encoder/Decoder pair below reads and writes one block at a time
+// and never materializes a whole merged mesh.
+//
+// Stream layout (little-endian):
+//
+//	magic    uint64 ("tMESHfmt")
+//	version  uint32 (currently 2)
+//	frames:  marker 0x01, bodyLen uvarint, body
+//	end:     marker 0x00
+//
+// Block body:
+//
+//	extents   6 x float64
+//	nVerts    uvarint; if nVerts > 0:
+//	  origin  3 x float64   (per-axis quantization origin = min coord)
+//	  exp     3 x int32     (per-axis power-of-two step exponent)
+//	  qverts  nVerts x 3 x uint32
+//	nCells    uvarint
+//	sites     nCells x 3 x float64   (exact — the canonical-weld input)
+//	ids       zigzag-varint deltas (first absolute)
+//	volumes   nCells x float64
+//	areas     nCells x float64
+//	complete  ceil(nCells/8) bytes, bit i = cell i complete
+//	cells:    per cell: nFaces uvarint; per face: neighbor zigzag
+//	          varint, nVerts uvarint, vertex indices as zigzag-varint
+//	          deltas (first absolute)
+//
+// Positions are quantized to a 32-bit grid whose step is a power of
+// two (step = 2^exp, exp = ilogb(span)-31): power-of-two steps make
+// dequantize→requantize reproduce the same grid indices, so
+// encode→decode→encode is byte-stable. Quantization perturbs only the
+// *stored* vertex coordinates; cell sites stay exact float64, and
+// MergeCanonical re-derives every merged vertex from site bisector
+// planes — never from stored coordinates — which is why a v2 round
+// trip yields canonical merged bytes identical to the v1 path.
+
+const meshMagicFmt uint64 = 0x744d455348666d74 // "tMESHfmt"
+
+// meshFormatV2 is the version field value for the layout above.
+const meshFormatV2 uint32 = 2
+
+// maxV2Frame bounds a frame body so a corrupt length cannot drive a
+// huge allocation before any payload validation runs.
+const maxV2Frame = int64(1) << 31
+
+// quantGrid is one axis's quantization frame.
+type quantGrid struct {
+	origin float64
+	exp    int32
+}
+
+func (g quantGrid) step() float64 { return math.Ldexp(1, int(g.exp)) }
+
+// gridFor derives the quantization frame of one coordinate axis: the
+// origin is the exact minimum (so the minimal vertex round-trips
+// bit-for-bit) and the step is the power of two putting the span just
+// inside 32 bits.
+func gridFor(lo, hi float64) quantGrid {
+	span := hi - lo
+	if !(span > 0) || math.IsInf(span, 0) {
+		return quantGrid{origin: lo, exp: 0}
+	}
+	return quantGrid{origin: lo, exp: int32(math.Ilogb(span)) - 31}
+}
+
+func (g quantGrid) quantize(x float64) uint32 {
+	q := math.Round((x - g.origin) / g.step())
+	if q < 0 {
+		return 0
+	}
+	if q > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(q)
+}
+
+func (g quantGrid) dequantize(q uint32) float64 {
+	return g.origin + float64(q)*g.step()
+}
+
+type v2Writer struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *v2Writer) u8(v byte) { w.buf = append(w.buf, v) }
+func (w *v2Writer) u32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+func (w *v2Writer) i32(v int32) { w.u32(uint32(v)) }
+func (w *v2Writer) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *v2Writer) vec(v geom.Vec3) { w.f64(v.X); w.f64(v.Y); w.f64(v.Z) }
+func (w *v2Writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+func (w *v2Writer) svarint(v int64) {
+	w.uvarint(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// encodeV2Body serializes m as one v2 block body (no stream framing).
+func encodeV2Body(m *BlockMesh) ([]byte, error) {
+	if err := checkEncodable(m); err != nil {
+		return nil, err
+	}
+	n := m.NumCells()
+	if len(m.ParticleIDs) != n || len(m.Volumes) != n || len(m.Areas) != n ||
+		len(m.Complete) != n || len(m.Cells) != n {
+		return nil, fmt.Errorf("meshio: inconsistent block arrays (cells=%d ids=%d vol=%d area=%d compl=%d conn=%d)",
+			n, len(m.ParticleIDs), len(m.Volumes), len(m.Areas), len(m.Complete), len(m.Cells))
+	}
+	w := &v2Writer{buf: make([]byte, 0, 64+12*len(m.Verts)+64*n)}
+	w.vec(m.Extents.Min)
+	w.vec(m.Extents.Max)
+	w.uvarint(uint64(len(m.Verts)))
+	if len(m.Verts) > 0 {
+		var grids [3]quantGrid
+		for a := 0; a < 3; a++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range m.Verts {
+				c := v.Component(a)
+				lo = math.Min(lo, c)
+				hi = math.Max(hi, c)
+			}
+			grids[a] = gridFor(lo, hi)
+		}
+		for a := 0; a < 3; a++ {
+			w.f64(grids[a].origin)
+		}
+		for a := 0; a < 3; a++ {
+			w.i32(grids[a].exp)
+		}
+		for _, v := range m.Verts {
+			w.u32(grids[0].quantize(v.X))
+			w.u32(grids[1].quantize(v.Y))
+			w.u32(grids[2].quantize(v.Z))
+		}
+	}
+	w.uvarint(uint64(n))
+	for _, p := range m.Particles {
+		w.vec(p)
+	}
+	var prevID int64
+	for i, id := range m.ParticleIDs {
+		if i == 0 {
+			w.svarint(id)
+		} else {
+			w.svarint(id - prevID)
+		}
+		prevID = id
+	}
+	for _, v := range m.Volumes {
+		w.f64(v)
+	}
+	for _, a := range m.Areas {
+		w.f64(a)
+	}
+	bits := make([]byte, (n+7)/8)
+	for i, c := range m.Complete {
+		if c {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	w.buf = append(w.buf, bits...)
+	for _, c := range m.Cells {
+		w.uvarint(uint64(len(c.Faces)))
+		for _, f := range c.Faces {
+			w.svarint(f.Neighbor)
+			w.uvarint(uint64(len(f.Verts)))
+			var prev int32
+			for i, vi := range f.Verts {
+				if i == 0 {
+					w.svarint(int64(vi))
+				} else {
+					w.svarint(int64(vi) - int64(prev))
+				}
+				prev = vi
+			}
+		}
+	}
+	return w.buf, nil
+}
+
+type v2Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *v2Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("meshio: "+format, args...)
+	}
+}
+
+func (r *v2Reader) remaining() int { return len(r.data) - r.off }
+
+func (r *v2Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < n {
+		r.fail("v2 body truncated at offset %d", r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *v2Reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *v2Reader) i32() int32 { return int32(r.u32()) }
+func (r *v2Reader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+func (r *v2Reader) vec() geom.Vec3 {
+	return geom.Vec3{X: r.f64(), Y: r.f64(), Z: r.f64()}
+}
+func (r *v2Reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+func (r *v2Reader) svarint() int64 {
+	u := r.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// decodeV2Body parses one v2 block body, consuming all of data.
+func decodeV2Body(data []byte) (*BlockMesh, error) {
+	r := &v2Reader{data: data}
+	m := &BlockMesh{}
+	m.Extents.Min = r.vec()
+	m.Extents.Max = r.vec()
+	nv := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nv > formatCountMax || nv > uint64(r.remaining()/12)+1 {
+		return nil, fmt.Errorf("meshio: implausible vertex count %d", nv)
+	}
+	if nv > 0 {
+		var grids [3]quantGrid
+		for a := 0; a < 3; a++ {
+			grids[a].origin = r.f64()
+		}
+		for a := 0; a < 3; a++ {
+			grids[a].exp = r.i32()
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		for a := 0; a < 3; a++ {
+			if e := grids[a].exp; e < -1100 || e > 1024 || math.IsNaN(grids[a].origin) {
+				return nil, fmt.Errorf("meshio: malformed quantization grid (origin %g, exp %d)",
+					grids[a].origin, e)
+			}
+		}
+		m.Verts = make([]geom.Vec3, nv)
+		for i := range m.Verts {
+			m.Verts[i] = geom.Vec3{
+				X: grids[0].dequantize(r.u32()),
+				Y: grids[1].dequantize(r.u32()),
+				Z: grids[2].dequantize(r.u32()),
+			}
+		}
+	}
+	nc := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nc > formatCountMax || nc > uint64(r.remaining()/24)+1 {
+		return nil, fmt.Errorf("meshio: implausible cell count %d", nc)
+	}
+	m.Particles = make([]geom.Vec3, nc)
+	for i := range m.Particles {
+		m.Particles[i] = r.vec()
+	}
+	m.ParticleIDs = make([]int64, nc)
+	var prevID int64
+	for i := range m.ParticleIDs {
+		d := r.svarint()
+		if i == 0 {
+			prevID = d
+		} else {
+			prevID += d
+		}
+		m.ParticleIDs[i] = prevID
+	}
+	m.Volumes = make([]float64, nc)
+	for i := range m.Volumes {
+		m.Volumes[i] = r.f64()
+	}
+	m.Areas = make([]float64, nc)
+	for i := range m.Areas {
+		m.Areas[i] = r.f64()
+	}
+	bits := r.take(int((nc + 7) / 8))
+	if r.err != nil {
+		return nil, r.err
+	}
+	m.Complete = make([]bool, nc)
+	for i := range m.Complete {
+		m.Complete[i] = bits[i/8]&(1<<(i%8)) != 0
+	}
+	m.Cells = make([]CellConn, nc)
+	for i := range m.Cells {
+		nf := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if nf > uint64(r.remaining())+1 {
+			return nil, fmt.Errorf("meshio: implausible face count %d", nf)
+		}
+		faces := make([]FaceConn, nf)
+		for fi := range faces {
+			faces[fi].Neighbor = r.svarint()
+			nfv := r.uvarint()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if nfv > nv {
+				return nil, fmt.Errorf("meshio: face with %d vertices exceeds pool %d", nfv, nv)
+			}
+			vs := make([]int32, nfv)
+			var prev int64
+			for vi := range vs {
+				d := r.svarint()
+				if vi == 0 {
+					prev = d
+				} else {
+					prev += d
+				}
+				if prev < 0 || uint64(prev) >= nv {
+					return nil, fmt.Errorf("meshio: vertex index %d out of range", prev)
+				}
+				vs[vi] = int32(prev)
+			}
+			faces[fi].Verts = vs
+		}
+		m.Cells[i].Faces = faces
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("meshio: %d trailing bytes in v2 body", r.remaining())
+	}
+	return m, nil
+}
+
+// Encoder writes a v2 mesh stream one block at a time: the stream
+// header goes out before the first frame and Close terminates the
+// stream, so arbitrarily many blocks pass through without the encoder
+// ever holding more than one encoded body.
+type Encoder struct {
+	w       io.Writer
+	err     error
+	started bool
+	closed  bool
+	tmp     [binary.MaxVarintLen64]byte
+}
+
+// NewEncoder returns an Encoder writing a v2 stream to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: w}
+}
+
+func (e *Encoder) header() {
+	if e.started || e.err != nil {
+		return
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:], meshMagicFmt)
+	binary.LittleEndian.PutUint32(hdr[8:], meshFormatV2)
+	_, e.err = e.w.Write(hdr[:])
+	e.started = true
+}
+
+// WriteBlock appends one block frame to the stream.
+func (e *Encoder) WriteBlock(m *BlockMesh) error {
+	if e.closed {
+		return fmt.Errorf("meshio: WriteBlock on closed Encoder")
+	}
+	if e.header(); e.err != nil {
+		return e.err
+	}
+	body, err := encodeV2Body(m)
+	if err != nil {
+		e.err = err
+		return err
+	}
+	n := binary.PutUvarint(e.tmp[:], uint64(len(body)))
+	frame := make([]byte, 0, 1+n+len(body))
+	frame = append(frame, 1)
+	frame = append(frame, e.tmp[:n]...)
+	frame = append(frame, body...)
+	if _, err := e.w.Write(frame); err != nil {
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+// Close terminates the stream with the end marker. It does not close
+// the underlying writer.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return e.err
+	}
+	if e.header(); e.err != nil {
+		return e.err
+	}
+	if _, err := e.w.Write([]byte{0}); err != nil {
+		e.err = err
+	}
+	e.closed = true
+	return e.err
+}
+
+// EncodeV2 serializes m as a complete single-block v2 stream — the
+// compact counterpart of Encode, readable by DecodeBlockMesh and
+// Decoder alike.
+func EncodeV2(m *BlockMesh) ([]byte, error) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.WriteBlock(m); err != nil {
+		return nil, err
+	}
+	if err := e.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decoder reads a v2 mesh stream one block at a time.
+type Decoder struct {
+	r        *bufio.Reader
+	err      error
+	started  bool
+	done     bool
+	maxFrame int64
+}
+
+// NewDecoder returns a Decoder reading a v2 stream from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r), maxFrame: maxV2Frame}
+}
+
+// Next returns the next block of the stream, or io.EOF after the end
+// marker. Any format violation is returned as an error and sticks.
+func (d *Decoder) Next() (*BlockMesh, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.done {
+		return nil, io.EOF
+	}
+	if !d.started {
+		var hdr [12]byte
+		if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+			return nil, d.sticky(fmt.Errorf("meshio: v2 stream header: %w", err))
+		}
+		if magic := binary.LittleEndian.Uint64(hdr[0:]); magic != meshMagicFmt {
+			return nil, d.sticky(fmt.Errorf("meshio: bad magic %#x", magic))
+		}
+		if ver := binary.LittleEndian.Uint32(hdr[8:]); ver != meshFormatV2 {
+			return nil, d.sticky(fmt.Errorf("meshio: unsupported mesh format version %d", ver))
+		}
+		d.started = true
+	}
+	marker, err := d.r.ReadByte()
+	if err != nil {
+		return nil, d.sticky(fmt.Errorf("meshio: v2 stream marker: %w", err))
+	}
+	switch marker {
+	case 0:
+		d.done = true
+		return nil, io.EOF
+	case 1:
+	default:
+		return nil, d.sticky(fmt.Errorf("meshio: bad v2 frame marker %#x", marker))
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, d.sticky(fmt.Errorf("meshio: v2 frame length: %w", err))
+	}
+	if int64(n) > d.maxFrame || n > uint64(maxV2Frame) {
+		return nil, d.sticky(fmt.Errorf("meshio: implausible v2 frame length %d", n))
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return nil, d.sticky(fmt.Errorf("meshio: v2 frame body: %w", err))
+	}
+	m, err := decodeV2Body(body)
+	if err != nil {
+		return nil, d.sticky(err)
+	}
+	return m, nil
+}
+
+func (d *Decoder) sticky(err error) error {
+	d.err = err
+	return err
+}
+
+// decodeV2Single parses a complete single-block v2 stream, rejecting
+// multi-block streams and trailing bytes (the strictness
+// DecodeBlockMesh promises).
+func decodeV2Single(data []byte) (*BlockMesh, error) {
+	d := NewDecoder(bytes.NewReader(data))
+	d.maxFrame = int64(len(data))
+	m, err := d.Next()
+	if err == io.EOF {
+		return nil, fmt.Errorf("meshio: empty v2 stream")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.Next(); err != io.EOF {
+		if err == nil {
+			return nil, fmt.Errorf("meshio: v2 container holds more than one block")
+		}
+		return nil, err
+	}
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("meshio: trailing bytes after v2 stream")
+	}
+	return m, nil
+}

@@ -1,0 +1,232 @@
+package meshio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// buildTestMesh wraps buildTestCells into an encoded-ready block mesh
+// over the periodic [0, L)^3 box.
+func buildTestMesh(t testing.TB, n int, L float64, seed int64) *BlockMesh {
+	t.Helper()
+	cells := buildTestCells(t, n, L, seed)
+	return BuildBlockMesh(cells, geom.NewBox(geom.V(0, 0, 0), geom.V(L, L, L)), 0)
+}
+
+// TestEncodeV2GoldenRoundTrip pins the v2 format's defining property:
+// encode -> decode -> encode is byte-stable (the power-of-two
+// quantization grid re-derives identically from dequantized vertices),
+// and everything except vertex coordinates survives exactly.
+func TestEncodeV2GoldenRoundTrip(t *testing.T) {
+	m := buildTestMesh(t, 3, 3, 211)
+	enc1, err := EncodeV2(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBlockMesh(enc1) // format-sniffed v2 path
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := EncodeV2(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("encode->decode->encode not byte-stable (%d vs %d bytes)", len(enc1), len(enc2))
+	}
+	if dec.NumCells() != m.NumCells() || len(dec.Verts) != len(m.Verts) {
+		t.Fatalf("decode shape: %d cells / %d verts, want %d / %d",
+			dec.NumCells(), len(dec.Verts), m.NumCells(), len(m.Verts))
+	}
+	if dec.Extents != m.Extents {
+		t.Errorf("extents %+v != %+v", dec.Extents, m.Extents)
+	}
+	for i := range m.Particles {
+		// Sites are the canonical-weld input and must stay exact.
+		if dec.Particles[i] != m.Particles[i] {
+			t.Fatalf("site %d drifted: %+v != %+v", i, dec.Particles[i], m.Particles[i])
+		}
+		if dec.ParticleIDs[i] != m.ParticleIDs[i] {
+			t.Fatalf("id %d: %d != %d", i, dec.ParticleIDs[i], m.ParticleIDs[i])
+		}
+		if dec.Volumes[i] != m.Volumes[i] || dec.Areas[i] != m.Areas[i] {
+			t.Fatalf("cell %d scalars drifted", i)
+		}
+		if dec.Complete[i] != m.Complete[i] {
+			t.Fatalf("cell %d completeness flipped", i)
+		}
+		if len(dec.Cells[i].Faces) != len(m.Cells[i].Faces) {
+			t.Fatalf("cell %d face count %d != %d", i, len(dec.Cells[i].Faces), len(m.Cells[i].Faces))
+		}
+	}
+	// Quantization error is bounded by one grid step per axis.
+	for i, v := range m.Verts {
+		d := dec.Verts[i]
+		span := m.Extents.Max.Sub(m.Extents.Min)
+		for a := 0; a < 3; a++ {
+			tol := span.Component(a) / (1 << 30)
+			if diff := v.Component(a) - d.Component(a); diff > tol || diff < -tol {
+				t.Fatalf("vert %d axis %d off by %g (tol %g)", i, a, diff, tol)
+			}
+		}
+	}
+}
+
+// TestV2CanonicalMatchesV1 is the cross-version interchange guarantee:
+// a v2 round trip feeds MergeCanonical the same sites as a v1 round
+// trip, so the canonical merged bytes are identical even though v2
+// quantizes stored vertex coordinates.
+func TestV2CanonicalMatchesV1(t *testing.T) {
+	m := buildTestMesh(t, 3, 3, 212)
+	domain := geom.NewBox(geom.V(0, 0, 0), geom.V(3, 3, 3))
+	encV1, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encV2, err := EncodeV2(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encV2) >= len(encV1) {
+		t.Errorf("v2 (%d bytes) not smaller than v1 (%d bytes)", len(encV2), len(encV1))
+	}
+	decV1, err := DecodeBlockMesh(encV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decV2, err := DecodeBlockMesh(encV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := MergeCanonical([]*BlockMesh{decV1}, domain, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MergeCanonical([]*BlockMesh{decV2}, domain, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := m1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("canonical merged bytes differ between v1 and v2 round trips")
+	}
+}
+
+// TestEncoderDecoderStream drives the streaming pair over a multi-block
+// stream: every block round-trips to its own stable encoding, and the
+// stream terminates cleanly with io.EOF.
+func TestEncoderDecoderStream(t *testing.T) {
+	meshes := []*BlockMesh{
+		buildTestMesh(t, 2, 2, 213),
+		buildTestMesh(t, 3, 3, 214),
+		buildTestMesh(t, 2, 4, 215),
+	}
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	for _, m := range meshes {
+		if err := e.WriteBlock(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteBlock(meshes[0]); err == nil {
+		t.Fatal("WriteBlock after Close accepted")
+	}
+
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i, want := range meshes {
+		got, err := d.Next()
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		wb, err := EncodeV2(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := EncodeV2(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wb, gb) {
+			t.Fatalf("block %d round trip not byte-stable", i)
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after last block: %v, want io.EOF", err)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("repeated Next after end: %v, want io.EOF", err)
+	}
+}
+
+// TestErrMeshTooLarge pins the structured too-large error on both
+// encoders by lowering the format limit to a synthetic value the test
+// mesh exceeds.
+func TestErrMeshTooLarge(t *testing.T) {
+	old := formatCountMax
+	formatCountMax = 8
+	defer func() { formatCountMax = old }()
+	m := buildTestMesh(t, 3, 3, 216) // 27 cells > 8
+	if _, err := m.Encode(); !errors.Is(err, ErrMeshTooLarge) {
+		t.Fatalf("v1 Encode: %v, want ErrMeshTooLarge", err)
+	}
+	if _, err := EncodeV2(m); !errors.Is(err, ErrMeshTooLarge) {
+		t.Fatalf("EncodeV2: %v, want ErrMeshTooLarge", err)
+	}
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.WriteBlock(m); !errors.Is(err, ErrMeshTooLarge) {
+		t.Fatalf("Encoder.WriteBlock: %v, want ErrMeshTooLarge", err)
+	}
+}
+
+// TestDecodeV2Malformed sweeps the rejection surface: every proper
+// prefix, a wrong version, trailing bytes, and a multi-block stream fed
+// to the single-block entry point must all error without panicking.
+func TestDecodeV2Malformed(t *testing.T) {
+	m := buildTestMesh(t, 2, 2, 217)
+	enc, err := EncodeV2(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeBlockMesh(enc[:i]); err == nil {
+			t.Fatalf("truncated stream of %d bytes accepted", i)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[8] = 3 // version field
+	if _, err := DecodeBlockMesh(bad); err == nil {
+		t.Fatal("unsupported version accepted")
+	}
+	if _, err := DecodeBlockMesh(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	var multi bytes.Buffer
+	e := NewEncoder(&multi)
+	if err := e.WriteBlock(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteBlock(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBlockMesh(multi.Bytes()); err == nil {
+		t.Fatal("multi-block stream accepted by single-block decode")
+	}
+}

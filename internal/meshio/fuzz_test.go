@@ -21,7 +21,18 @@ func FuzzDecodeBlockMesh(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte{})
-	f.Add([]byte{0x01, 0x31, 0x76, 0x48, 0x53, 0x45, 0x4d, 0x74}) // magic only
+	f.Add([]byte{0x01, 0x31, 0x76, 0x48, 0x53, 0x45, 0x4d, 0x74}) // v1 magic only
+	validV2, err := EncodeV2(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validV2)
+	f.Add(validV2[:len(validV2)/2])
+	f.Add(validV2[:13])                                           // header + frame marker, no body
+	f.Add([]byte{0x74, 0x6d, 0x45, 0x53, 0x48, 0x66, 0x6d, 0x74}) // v2 magic only
+	badVer := append([]byte(nil), validV2...)
+	badVer[8] = 0xff // unsupported version
+	f.Add(badVer)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeBlockMesh(data)
 		if err == nil {

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/diy"
+	"repro/internal/geom"
+)
+
+// Snapshot files reuse the diy single-file block layout (payload
+// sections + footer index + trailer), with one particle chunk per
+// section. Each chunk payload is:
+//
+//	magic  uint64 ("tessSNP1")
+//	count  uint64
+//	per particle: id int64, pos 3 x float64
+//
+// The fixed-width header means a FileSource can learn every chunk's
+// particle count from 16-byte reads at open time, without decoding any
+// chunk.
+
+const snapMagic uint64 = 0x74657373534e5031 // "tessSNP1"
+
+const snapHeaderSize = 16
+const snapRecSize = 8 + 24
+
+// WriteSnapshot writes ps as a snapshot file of the given number of
+// chunks, split into contiguous equal-length runs in slice order (the
+// order contract of Source).
+func WriteSnapshot(path string, ps []diy.Particle, chunks int) error {
+	if chunks <= 0 {
+		return fmt.Errorf("storage: cannot write snapshot with %d chunks", chunks)
+	}
+	payloads := make([][]byte, chunks)
+	for c := 0; c < chunks; c++ {
+		lo := len(ps) * c / chunks
+		hi := len(ps) * (c + 1) / chunks
+		payloads[c] = encodeChunk(ps[lo:hi])
+	}
+	_, err := diy.WriteBlocks(path, payloads)
+	return err
+}
+
+func encodeChunk(ps []diy.Particle) []byte {
+	buf := make([]byte, snapHeaderSize+snapRecSize*len(ps))
+	binary.LittleEndian.PutUint64(buf[0:], snapMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(ps)))
+	off := snapHeaderSize
+	for _, p := range ps {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(p.ID))
+		binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(p.Pos.X))
+		binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(p.Pos.Y))
+		binary.LittleEndian.PutUint64(buf[off+24:], math.Float64bits(p.Pos.Z))
+		off += snapRecSize
+	}
+	return buf
+}
+
+func decodeChunk(data []byte) ([]diy.Particle, error) {
+	if len(data) < snapHeaderSize {
+		return nil, fmt.Errorf("storage: chunk truncated at %d bytes", len(data))
+	}
+	if magic := binary.LittleEndian.Uint64(data[0:]); magic != snapMagic {
+		return nil, fmt.Errorf("storage: bad chunk magic %#x", magic)
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if uint64(len(data)-snapHeaderSize) != n*snapRecSize {
+		return nil, fmt.Errorf("storage: chunk size %d does not match %d particles", len(data), n)
+	}
+	ps := make([]diy.Particle, n)
+	off := snapHeaderSize
+	for i := range ps {
+		ps[i].ID = int64(binary.LittleEndian.Uint64(data[off:]))
+		ps[i].Pos = geom.Vec3{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+			Z: math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+		}
+		off += snapRecSize
+	}
+	return ps, nil
+}
+
+// FileSource streams a snapshot file chunk by chunk with a bounded
+// resident window: at most window chunks are decoded at once, and
+// released chunks are evicted least-recently-used when the window is
+// full. A pinned chunk (handed out by Chunk, not yet Released) is never
+// evicted, so the window must be at least the number of chunks the
+// consumer holds concurrently (the session holds one).
+type FileSource struct {
+	path   string
+	f      *os.File
+	idx    *diy.BlockIndex
+	counts []int // per-chunk particle counts, from the fixed headers
+	window int
+
+	resident map[int]*residentChunk
+	clock    int
+	stats    SourceStats
+}
+
+type residentChunk struct {
+	parts   []diy.Particle
+	pinned  bool
+	lastUse int
+}
+
+// OpenFileSource opens a snapshot file written by WriteSnapshot. window
+// is the resident-window budget in chunks; window <= 0 (or >= the chunk
+// count) means the whole snapshot may be resident. Chunk particle
+// counts are read from the fixed headers, so opening touches 16 bytes
+// per chunk, not the payloads.
+func OpenFileSource(path string, window int) (*FileSource, error) {
+	idx, err := diy.ReadIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileSource{
+		path:     path,
+		f:        f,
+		idx:      idx,
+		counts:   make([]int, len(idx.Offsets)),
+		window:   window,
+		resident: make(map[int]*residentChunk),
+	}
+	var hdr [snapHeaderSize]byte
+	for i := range idx.Offsets {
+		if idx.Sizes[i] < snapHeaderSize {
+			f.Close()
+			return nil, fmt.Errorf("storage: %s chunk %d truncated", path, i)
+		}
+		if _, err := f.ReadAt(hdr[:], idx.Offsets[i]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: %s chunk %d header: %w", path, i, err)
+		}
+		if magic := binary.LittleEndian.Uint64(hdr[0:]); magic != snapMagic {
+			f.Close()
+			return nil, fmt.Errorf("storage: %s chunk %d has bad magic %#x", path, i, magic)
+		}
+		s.counts[i] = int(binary.LittleEndian.Uint64(hdr[8:]))
+		s.stats.TotalParticles += s.counts[i]
+	}
+	return s, nil
+}
+
+// Chunks returns the snapshot's chunk count.
+func (s *FileSource) Chunks() int { return len(s.counts) }
+
+// TotalParticles returns the snapshot's full particle count (known from
+// the chunk headers without decoding any chunk).
+func (s *FileSource) TotalParticles() int { return s.stats.TotalParticles }
+
+// Chunk loads (or returns the resident) chunk i and pins it until
+// Release(i).
+func (s *FileSource) Chunk(i int) ([]diy.Particle, error) {
+	if i < 0 || i >= len(s.counts) {
+		return nil, fmt.Errorf("storage: chunk %d out of range [0, %d)", i, len(s.counts))
+	}
+	s.clock++
+	if rc, ok := s.resident[i]; ok {
+		rc.pinned = true
+		rc.lastUse = s.clock
+		return rc.parts, nil
+	}
+	s.evictFor(1)
+	buf := make([]byte, s.idx.Sizes[i])
+	if _, err := s.f.ReadAt(buf, s.idx.Offsets[i]); err != nil {
+		return nil, fmt.Errorf("storage: %s chunk %d: %w", s.path, i, err)
+	}
+	parts, err := decodeChunk(buf)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s chunk %d: %w", s.path, i, err)
+	}
+	s.resident[i] = &residentChunk{parts: parts, pinned: true, lastUse: s.clock}
+	s.stats.Loads++
+	s.noteResident()
+	return parts, nil
+}
+
+// Release unpins chunk i, making it evictable.
+func (s *FileSource) Release(i int) {
+	if rc, ok := s.resident[i]; ok {
+		rc.pinned = false
+	}
+}
+
+// Stats reports the source's accounting.
+func (s *FileSource) Stats() SourceStats { return s.stats }
+
+// Close releases the file handle and drops every resident chunk.
+func (s *FileSource) Close() error {
+	s.resident = make(map[int]*residentChunk)
+	return s.f.Close()
+}
+
+// evictFor evicts least-recently-used unpinned chunks until loading n
+// more chunks would fit the window. With no window (<= 0) it is a
+// no-op; if every resident chunk is pinned the load proceeds over
+// budget (the caller is holding more chunks than the window allows,
+// which the peak accounting will expose).
+func (s *FileSource) evictFor(n int) {
+	if s.window <= 0 {
+		return
+	}
+	for len(s.resident)+n > s.window {
+		victim, oldest := -1, 0
+		for i, rc := range s.resident {
+			if rc.pinned {
+				continue
+			}
+			if victim < 0 || rc.lastUse < oldest {
+				victim, oldest = i, rc.lastUse
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		delete(s.resident, victim)
+		s.stats.Evictions++
+	}
+}
+
+func (s *FileSource) noteResident() {
+	if n := len(s.resident); n > s.stats.PeakResidentChunks {
+		s.stats.PeakResidentChunks = n
+	}
+	parts := 0
+	for _, rc := range s.resident {
+		parts += len(rc.parts)
+	}
+	if parts > s.stats.PeakResidentParticles {
+		s.stats.PeakResidentParticles = parts
+	}
+}

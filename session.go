@@ -39,22 +39,44 @@ func Open(cfg Config, numBlocks int) (*Session, error) {
 }
 
 // Step runs one tessellation pass over particles through the session's
-// retained state. The result is byte-identical to
+// retained state, adjusted by per-step options (WithOutputPath,
+// WithCheckpointEvery). The result is byte-identical to
 // Run(cfg, particles, numBlocks) and is loaned until the next Step.
 //
 //tess:loaned
-func (s *Session) Step(particles []Particle) (*Output, error) {
-	return s.s.Step(particles)
+func (s *Session) Step(particles []Particle, opts ...StepOption) (*Output, error) {
+	return s.StepFrom(NewSliceSource(particles), opts...)
+}
+
+// StepFrom is Step over a snapshot Source instead of an inline slice:
+// the source's chunks are loaded, partitioned, and released one at a
+// time, so a windowed FileSource never stages the whole snapshot while
+// producing output byte-identical to an inline Step over the same
+// particles. Every Step variant routes through this path.
+//
+//tess:loaned
+func (s *Session) StepFrom(src Source, opts ...StepOption) (*Output, error) {
+	return s.s.StepSource(src, resolveStepOpts(s.s.DefaultOutputPath(), opts))
 }
 
 // StepTo is Step writing this pass's blocks to outputPath (empty writes
-// nothing), overriding cfg.OutputPath — the in situ pattern of one output
-// file per selected timestep.
+// nothing), overriding cfg.OutputPath.
+//
+// Deprecated: use Step(particles, WithOutputPath(outputPath)), which
+// composes with the other per-step options.
 //
 //tess:loaned
 func (s *Session) StepTo(particles []Particle, outputPath string) (*Output, error) {
-	return s.s.StepPath(particles, outputPath)
+	return s.Step(particles, WithOutputPath(outputPath))
 }
+
+// Checkpoint persists the session's resumable state into dir — the
+// decomposition, step counter, warm/cold baseline, and the last
+// completed step's per-block meshes in the compact v2 format — for a
+// later Resume. It must be called between steps (not before the first)
+// and commits atomically: a crash mid-checkpoint leaves the previous
+// complete checkpoint, or none. WithCheckpointEvery automates it.
+func (s *Session) Checkpoint(dir string) error { return s.s.Checkpoint(dir) }
 
 // StepDensity runs the streaming density pipeline over one snapshot's
 // particles through the session's ranks: triangulate (rank 0),
